@@ -1,0 +1,24 @@
+"""Bench E1: regenerate the non-blocking-under-partitions table.
+
+See ``repro.harness.experiments.e01_nonblocking`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e01_nonblocking as experiment_module
+
+
+def test_e1(experiment):
+    table = experiment(experiment_module)
+    by_system = {}
+    for row in table.rows:
+        by_system.setdefault(row[1], []).append(row)
+    # DvP decisions and lock holds stay bounded by the timeout...
+    timeout = 15.0
+    for row in by_system["DvP"]:
+        assert row[4] <= timeout + 1e-6
+        assert row[5] <= timeout + 1e-6
+        assert row[6] == 0
+    # ...while 2PC's worst lock hold grows with the partition length.
+    holds = [row[5] for row in by_system["2PC"]]
+    partitions = [row[0] for row in by_system["2PC"]]
+    assert holds[-1] > partitions[-1] * 0.8

@@ -1,0 +1,21 @@
+"""Bench E2: regenerate the availability-during-partitions table.
+
+See ``repro.harness.experiments.e02_availability`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e02_availability as experiment_module
+
+
+def test_e2(experiment):
+    table = experiment(experiment_module)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    groupings = sorted({row[0] for row in table.rows})
+    for groups in groupings:
+        if groups == 1:
+            continue
+        # Every DvP group keeps committing; replicated designs starve
+        # their worst group entirely.
+        assert rows[(groups, "DvP")][3] >= 90.0
+        assert rows[(groups, "quorum")][3] == 0.0
+        assert rows[(groups, "primary-copy")][3] == 0.0

@@ -1,0 +1,19 @@
+"""Bench E3: regenerate the vm-guaranteed-delivery table.
+
+See ``repro.harness.experiments.e03_vm_delivery`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e03_vm_delivery as experiment_module
+
+
+def test_e3(experiment):
+    table = experiment(experiment_module)
+    for row in table.rows:
+        conserved = row[-1]
+        residual = row[-2]
+        assert conserved == "yes"
+        assert residual == 0
+    # Retransmissions per Vm rise with the loss rate.
+    retx = table.column("retx/Vm")
+    assert retx[-1] >= retx[0]

@@ -1,0 +1,15 @@
+"""Bench E4: regenerate the serializability table.
+
+See ``repro.harness.experiments.e04_serializability`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e04_serializability as experiment_module
+
+
+def test_e4(experiment):
+    table = experiment(experiment_module)
+    for row in table.rows:
+        assert row[5] == 0  # read mismatches
+        assert row[6] == 0  # negative dips
+        assert row[7] == "yes"  # conserved

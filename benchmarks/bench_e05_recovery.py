@@ -1,0 +1,17 @@
+"""Bench E5: regenerate the independent-recovery table.
+
+See ``repro.harness.experiments.e05_recovery`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e05_recovery as experiment_module
+
+
+def test_e5(experiment):
+    table = experiment(experiment_module)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["dvp-one"][1] == 0
+    assert rows["dvp-all"][1] == 0
+    assert rows["2pc-reachable"][1] >= 1
+    assert rows["2pc-cut-off"][1] >= 1
+    assert rows["2pc-cut-off"][7] >= 1  # items still locked

@@ -1,0 +1,19 @@
+"""Bench E6: regenerate the hot-spot-counter table.
+
+See ``repro.harness.experiments.e06_hotspot`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e06_hotspot as experiment_module
+
+
+def test_e6(experiment):
+    table = experiment(experiment_module)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    counts = sorted({row[0] for row in table.rows})
+    largest = counts[-1]
+    # The exclusive lock saturates; escrow and DvP keep scaling.
+    assert rows[(largest, "escrow")][3] > rows[(largest, "lock")][3]
+    assert rows[(largest, "DvP")][3] > rows[(largest, "lock")][3]
+    # DvP commits locally: its p95 latency beats the central escrow's.
+    assert rows[(largest, "DvP")][5] < rows[(largest, "escrow")][5]

@@ -1,0 +1,18 @@
+"""Bench E7: regenerate the full-read-cost table.
+
+See ``repro.harness.experiments.e07_read_cost`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e07_read_cost as experiment_module
+
+
+def test_e7(experiment):
+    table = experiment(experiment_module)
+    read_msgs = table.column("read msgs")
+    update_msgs = table.column("update msgs")
+    sites = table.column("sites")
+    assert all(value == 0 for value in update_msgs)
+    # Read message cost grows with the site count.
+    assert read_msgs[-1] > read_msgs[0]
+    assert read_msgs[-1] >= 2 * (sites[-1] - 1)

@@ -1,0 +1,15 @@
+"""Bench E8: regenerate the redistribution-policies table.
+
+See ``repro.harness.experiments.e08_policies`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e08_policies as experiment_module
+
+
+def test_e8(experiment):
+    table = experiment(experiment_module)
+    by_policy = {row[0]: row for row in table.rows}
+    assert "ask-all" in by_policy and "ask-few(1)" in by_policy
+    # Asking one peer is cheaper in messages than broadcasting.
+    assert by_policy["ask-few(1)"][3] < by_policy["ask-all"][3]

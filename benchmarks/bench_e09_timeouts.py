@@ -1,0 +1,14 @@
+"""Bench E9: regenerate the timeout-retry-frontier table.
+
+See ``repro.harness.experiments.e09_timeouts`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e09_timeouts as experiment_module
+
+
+def test_e9(experiment):
+    table = experiment(experiment_module)
+    for row in table.rows:
+        timeout, _retries = row[0], row[1]
+        assert row[4] <= timeout + 1e-6  # non-blocking bound holds

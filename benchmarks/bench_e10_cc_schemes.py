@@ -1,0 +1,19 @@
+"""Bench E10: regenerate the concurrency-control-schemes table.
+
+See ``repro.harness.experiments.e10_cc_schemes`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e10_cc_schemes as experiment_module
+
+
+def test_e10(experiment):
+    table = experiment(experiment_module)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    # Conc2 converts aborts into waits on its synchronous network.
+    assert rows[("conc2", "sync")][2] >= rows[("conc1", "async")][2]
+    # Conservation holds under every scheme/network combination.
+    assert all(row[-1] == "yes" for row in table.rows)
+    # Conc1 is sound on both networks (violations asserted zero).
+    assert rows[("conc1", "async")][7] == 0
+    assert rows[("conc1", "sync")][7] == 0

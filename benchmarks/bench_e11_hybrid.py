@@ -1,0 +1,20 @@
+"""Bench E11: regenerate the hybrid-mode-crossover table.
+
+See ``repro.harness.experiments.e11_hybrid`` for the experiment design
+and EXPERIMENTS.md for the recorded claim-vs-measured comparison.
+"""
+
+from repro.harness.experiments import e11_hybrid as experiment_module
+
+
+def test_e11(experiment):
+    table = experiment(experiment_module)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    # DvP wins the update phase on latency and messages...
+    assert rows[("dvp", "updates")][3] < rows[("central", "updates")][3]
+    # ...central wins the read phase on commit rate...
+    assert rows[("central", "reads")][2] > rows[("dvp", "reads")][2]
+    # ...and hybrid matches (or beats) the winner in each phase.
+    assert rows[("hybrid", "updates")][3] <= \
+        rows[("central", "updates")][3]
+    assert rows[("hybrid", "reads")][2] >= rows[("dvp", "reads")][2]

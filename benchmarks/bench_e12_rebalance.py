@@ -1,0 +1,19 @@
+"""Bench E12: regenerate the proactive-rebalancing ablation table.
+
+See ``repro.harness.experiments.e12_rebalance`` for the experiment
+design and EXPERIMENTS.md for the recorded comparison.
+"""
+
+from repro.harness.experiments import e12_rebalance as experiment_module
+
+
+def test_e12(experiment):
+    table = experiment(experiment_module)
+    rows = {row[0]: row for row in table.rows}
+    assert "off" in rows
+    daemon_rows = [row for key, row in rows.items() if key != "off"]
+    assert daemon_rows
+    # Rebalancing lifts the sale commit rate...
+    assert max(row[1] for row in daemon_rows) > rows["off"][1]
+    # ...and cuts the on-demand request traffic.
+    assert min(row[3] for row in daemon_rows) < rows["off"][3]

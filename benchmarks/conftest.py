@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Each bench runs one experiment's ``quick`` preset through
+pytest-benchmark (a single round — these are end-to-end protocol
+simulations, not microbenchmarks) and prints the regenerated table so
+the run reproduces the report recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment_benchmark(benchmark, module, quick: bool = True):
+    """Benchmark an experiment module and print its table."""
+    params = module.Params.quick() if quick else module.Params()
+
+    def once():
+        return module.run(params)
+
+    table = benchmark.pedantic(once, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert table.rows, "experiment produced no rows"
+    return table
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def runner(module, quick: bool = True):
+        return run_experiment_benchmark(benchmark, module, quick)
+    return runner

@@ -1,0 +1,13 @@
+"""Repository-root pytest configuration.
+
+Ensures the src layout is importable even when the package has not
+been pip-installed (e.g. offline environments without the `wheel`
+package, where PEP 660 editable installs cannot be built).
+"""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The modern PEP 660 editable path needs the `wheel` package to build an
+editable wheel; this offline environment lacks it, so setuptools'
+classic `develop` command (driven through this file) is the fallback.
+Configuration lives in pyproject.toml either way.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Application façades over the DvP core.
+
+The paper motivates DvP with three applications (airline reservation,
+banking, inventory control). These classes give each a domain-shaped
+API over :class:`~repro.core.system.DvPSystem`, so application code
+reads like the application, not like the protocol:
+
+    bank = Bank(system)
+    bank.open_account("alice", {"downtown": 40_000})
+    bank.withdraw("airport", "alice", 5_000, on_done=...)
+"""
+
+from repro.apps.airline import ReservationSystem
+from repro.apps.bank import Bank
+from repro.apps.bounded import BoundedQuantity
+from repro.apps.inventory import InventoryControl
+
+__all__ = ["Bank", "BoundedQuantity", "InventoryControl",
+           "ReservationSystem"]

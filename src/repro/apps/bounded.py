@@ -1,0 +1,103 @@
+"""Two-sided bounded quantities via the free/used dual encoding.
+
+O'Neil's escrow method (the paper's Section 8 comparator) supports
+aggregates bounded on BOTH sides (a quantity that must stay within
+[0, capacity]). Plain DvP counters only bound below: increments are
+always effective, so nothing stops a counter exceeding a cap.
+
+The dual encoding closes the gap with zero new protocol machinery:
+represent the quantity as two partitioned items, ``<name>.used`` and
+``<name>.free``, with the standing invariant
+
+    Π(used) + Π(free) = capacity.
+
+``acquire`` is a local TransferOp free → used: it is bounded below on
+*free*, which is exactly "bounded above on *used* by capacity".
+``release`` is the reverse transfer. Both are single-site partitionable
+transactions — non-blocking, partition-tolerant, auditable — and the
+capacity bound can never be violated, even transiently, because a
+transfer conserves the pair by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.domain import CounterDomain
+from repro.core.system import DvPSystem
+from repro.core.transactions import (
+    ReadFullOp,
+    TransactionSpec,
+    TransferOp,
+    TxnResult,
+)
+
+Done = Callable[[TxnResult], None] | None
+
+
+class BoundedQuantity:
+    """A [0, capacity]-bounded aggregate over a DvP system.
+
+    Think connection slots, rate-limit tokens, or parking spaces:
+    ``acquire`` takes capacity (fails if none is reachable), ``release``
+    returns it, and the total in use can never exceed *capacity* nor
+    drop below zero — enforced by the domain algebra, not by checks.
+    """
+
+    def __init__(self, system: DvPSystem, name: str, capacity: int,
+                 used_split: dict[str, int] | None = None) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.system = system
+        self.name = name
+        self.capacity = capacity
+        self.used_item = f"{name}.used"
+        self.free_item = f"{name}.free"
+        used_split = used_split or {}
+        used_total = sum(used_split.values())
+        if used_total > capacity:
+            raise ValueError("initial usage exceeds capacity")
+        domain = CounterDomain()
+        system.add_item(self.used_item, domain, split=dict(used_split))
+        # Whatever is not used starts as free, split evenly.
+        system.add_item(self.free_item, domain,
+                        total=capacity - used_total)
+
+    # -- operations ----------------------------------------------------------
+
+    def acquire(self, site: str, amount: int, on_done: Done = None,
+                work: float = 0.0) -> None:
+        """Claim *amount* of capacity at *site*; aborts if the free pool
+        (reachable from here) cannot cover it."""
+        self.system.submit(site, TransactionSpec(
+            ops=(TransferOp(self.free_item, self.used_item, amount),),
+            label=f"acquire:{self.name}", work=work), on_done)
+
+    def release(self, site: str, amount: int, on_done: Done = None) -> None:
+        """Return *amount*; aborts if this site cannot gather that much
+        *used* (you cannot release what was never acquired)."""
+        self.system.submit(site, TransactionSpec(
+            ops=(TransferOp(self.used_item, self.free_item, amount),),
+            label=f"release:{self.name}"), on_done)
+
+    def utilization(self, site: str, on_done: Done = None) -> None:
+        """Exact global usage: a full read of the *used* item."""
+        self.system.submit(site, TransactionSpec(
+            ops=(ReadFullOp(self.used_item),),
+            label=f"utilization:{self.name}"), on_done)
+
+    # -- observation ------------------------------------------------------------
+
+    def local_free(self, site: str) -> Any:
+        return self.system.sites[site].fragments.value(self.free_item)
+
+    def local_used(self, site: str) -> Any:
+        return self.system.sites[site].fragments.value(self.used_item)
+
+    def audit(self) -> bool:
+        """God's-eye check of the standing invariant."""
+        used = self.system.auditor.check(self.used_item)
+        free = self.system.auditor.check(self.free_item)
+        total = self.system.auditor.expected(self.used_item) + \
+            self.system.auditor.expected(self.free_item)
+        return used.ok and free.ok and total == self.capacity

@@ -1,0 +1,72 @@
+"""Inventory-control façade: quantity-on-hand as aggregate fields.
+
+Section 8's hot-spot application: very frequently updated quantities
+whose updates are all increments/decrements. DvP spreads each SKU's
+stock across warehouses so sales commit locally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.domain import CounterDomain
+from repro.core.system import DvPSystem
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadFullOp,
+    TransactionSpec,
+    TxnResult,
+)
+
+Done = Callable[[TxnResult], None] | None
+
+
+class InventoryControl:
+    """SKU stock levels partitioned across warehouses."""
+
+    def __init__(self, system: DvPSystem) -> None:
+        self.system = system
+        self._skus: set[str] = set()
+
+    @property
+    def skus(self) -> set[str]:
+        return set(self._skus)
+
+    def add_sku(self, sku: str, units: int,
+                stocking: dict[str, int] | None = None) -> None:
+        if sku in self._skus:
+            raise ValueError(f"sku {sku!r} already exists")
+        self.system.add_item(sku, CounterDomain(),
+                             split=stocking,
+                             total=None if stocking else units)
+        self._skus.add(sku)
+
+    def _check(self, sku: str) -> None:
+        if sku not in self._skus:
+            raise KeyError(f"unknown sku {sku!r}")
+
+    def sell(self, warehouse: str, sku: str, units: int,
+             on_done: Done = None) -> None:
+        self._check(sku)
+        self.system.submit(warehouse, TransactionSpec(
+            ops=(DecrementOp(sku, units),), label=f"sell:{sku}"),
+            on_done)
+
+    def restock(self, warehouse: str, sku: str, units: int,
+                on_done: Done = None) -> None:
+        self._check(sku)
+        self.system.submit(warehouse, TransactionSpec(
+            ops=(IncrementOp(sku, units),), label=f"restock:{sku}"),
+            on_done)
+
+    def stock_check(self, warehouse: str, sku: str,
+                    on_done: Done = None) -> None:
+        """Exact global quantity on hand (the expensive read)."""
+        self._check(sku)
+        self.system.submit(warehouse, TransactionSpec(
+            ops=(ReadFullOp(sku),), label=f"stock-check:{sku}"), on_done)
+
+    def on_hand_locally(self, warehouse: str, sku: str) -> Any:
+        self._check(sku)
+        return self.system.sites[warehouse].fragments.value(sku)

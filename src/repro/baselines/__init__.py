@@ -1,0 +1,27 @@
+"""Comparator systems implemented on the identical substrate.
+
+The paper argues against these designs in prose; implementing them
+makes the arguments measurable:
+
+* :mod:`~repro.baselines.twopc` — traditional distributed transactions
+  with two-phase commit (blocks under partitions: experiment E1, E5);
+* :mod:`~repro.baselines.quorum` — replicated data with quorum
+  consensus (minority partitions lose all access: E2);
+* :mod:`~repro.baselines.primarycopy` — primary-copy replication (the
+  primary's group keeps working, everyone else does not: E2);
+* :mod:`~repro.baselines.escrow` — O'Neil's escrow method, the paper's
+  cited hot-spot comparator, plus a plain exclusive-lock central
+  counter (E6).
+"""
+
+from repro.baselines.escrow import CentralCounterSystem
+from repro.baselines.primarycopy import PrimaryCopySystem
+from repro.baselines.quorum import QuorumSystem
+from repro.baselines.twopc import TwoPCSystem
+
+__all__ = [
+    "CentralCounterSystem",
+    "PrimaryCopySystem",
+    "QuorumSystem",
+    "TwoPCSystem",
+]

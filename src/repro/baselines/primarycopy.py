@@ -1,0 +1,235 @@
+"""Primary-copy replication.
+
+Each item has one *primary* site; every update executes at the primary
+(remote origins forward the operation and wait for the reply), and the
+primary lazily propagates new versions to the backups. Reads may be
+served locally from a (possibly stale) backup copy when
+``allow_stale_reads`` is set, else they go to the primary too.
+
+Partition behaviour: only the group containing the primary can update —
+everyone else times out. If the primary site *fails*, nobody can update
+at all (the paper's "a primary copy site fails" remark). This is the
+second comparator for availability experiment E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.baselines.common import (
+    BaselineConfig,
+    IdSource,
+    PendingDone,
+    WholeStore,
+    make_result,
+)
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    Outcome,
+    ReadFullOp,
+    TransactionSpec,
+    TxnResult,
+)
+from repro.net.link import LinkConfig
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+from repro.storage.log import StableLog
+
+
+@dataclass(frozen=True)
+class ForwardReq:
+    txn_id: str
+    origin: str
+    item: str
+    ops: tuple  # of core ops
+
+@dataclass(frozen=True)
+class ForwardReply:
+    txn_id: str
+    committed: bool
+    reason: str
+    read_values: tuple[tuple[str, Any], ...] = ()
+    deltas: tuple[tuple[str, int, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class PropagateMsg:
+    item: str
+    value: Any
+    version: int
+
+
+class PrimaryCopySite:
+    """Holds a replica of every item; primary for some of them."""
+
+    def __init__(self, name: str, sim: Simulator, network: Network,
+                 config: BaselineConfig, system: "PrimaryCopySystem") -> None:
+        self.name = name
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.system = system
+        self.store = WholeStore()
+        self.log = StableLog(name)
+        self.alive = True
+        self._ids = IdSource(name)
+        self._pending: dict[str, tuple[PendingDone, float, str]] = {}
+        self._timers: dict[str, Timer] = {}
+        network.register(name, self.deliver)
+
+    # -- client API --------------------------------------------------------
+
+    def submit(self, spec: TransactionSpec,
+               on_done: Callable[[TxnResult], None] | None) -> str:
+        if len(spec.items()) != 1:
+            raise ValueError("primary-copy baseline supports "
+                             "single-item txns")
+        txn_id = self._ids.next()
+        item = next(iter(spec.items()))
+        is_read_only = all(isinstance(op, ReadFullOp) for op in spec.ops)
+        if is_read_only and self.system.allow_stale_reads:
+            value = self.store.get(item).value
+            result = make_result(txn_id, spec.label, Outcome.COMMITTED,
+                                 "stale-read", self.name, self.sim.now,
+                                 self.sim.now, read_values={item: value})
+            PendingDone(on_done).fire(result)
+            self.system.results.append(result)
+            return txn_id
+        primary = self.system.primary[item]
+        done = PendingDone(on_done)
+        self._pending[txn_id] = (done, self.sim.now, spec.label)
+        request = ForwardReq(txn_id, self.name, item, spec.ops)
+        if primary == self.name:
+            self._on_forward(request)
+        else:
+            self.network.send(self.name, primary, request)
+        timer = Timer(self.sim, lambda: self._timeout(txn_id, spec.label),
+                      label=f"pc-timeout:{txn_id}")
+        timer.start(self.config.txn_timeout)
+        self._timers[txn_id] = timer
+        return txn_id
+
+    # -- primary side ---------------------------------------------------------
+
+    def deliver(self, envelope: Envelope) -> None:
+        if not self.alive:
+            return
+        payload = envelope.payload
+        if isinstance(payload, ForwardReq):
+            self._on_forward(payload)
+        elif isinstance(payload, ForwardReply):
+            self._on_reply(payload)
+        elif isinstance(payload, PropagateMsg):
+            self._on_propagate(payload)
+
+    def _on_forward(self, request: ForwardReq) -> None:
+        if self.system.primary[request.item] != self.name:
+            return  # mis-routed (e.g. stale directory); ignore
+        item = self.store.get(request.item)
+        committed = True
+        reason = "ok"
+        reads: list[tuple[str, Any]] = []
+        deltas: list[tuple[str, int, Any]] = []
+        new_value = item.value
+        for op in request.ops:
+            if isinstance(op, DecrementOp):
+                if new_value < op.amount:
+                    committed, reason = False, "insufficient"
+                    break
+                new_value -= op.amount
+                deltas.append((op.item, -1, op.amount))
+            elif isinstance(op, IncrementOp):
+                new_value += op.amount
+                deltas.append((op.item, +1, op.amount))
+            elif isinstance(op, ReadFullOp):
+                reads.append((op.item, new_value))
+            else:
+                committed, reason = False, "unsupported-op"
+                break
+        if committed and new_value != item.value:
+            item.value = new_value
+            item.version += 1
+            self.log.append(("primary-write", request.txn_id, request.item,
+                             new_value, item.version))
+            for backup in self.system.sites:
+                if backup != self.name:
+                    self.network.send(self.name, backup, PropagateMsg(
+                        request.item, new_value, item.version))
+        reply = ForwardReply(request.txn_id, committed, reason,
+                             tuple(reads), tuple(deltas))
+        if request.origin == self.name:
+            self._on_reply(reply)
+        else:
+            self.network.send(self.name, request.origin, reply)
+
+    def _on_propagate(self, message: PropagateMsg) -> None:
+        item = self.store.get(message.item)
+        if message.version > item.version:
+            item.value = message.value
+            item.version = message.version
+
+    # -- origin side -------------------------------------------------------------
+
+    def _on_reply(self, reply: ForwardReply) -> None:
+        pending = self._pending.pop(reply.txn_id, None)
+        if pending is None:
+            return
+        done, submitted_at, label = pending
+        timer = self._timers.pop(reply.txn_id, None)
+        if timer is not None:
+            timer.cancel()
+        outcome = Outcome.COMMITTED if reply.committed else Outcome.ABORTED
+        result = make_result(reply.txn_id, label, outcome, reply.reason,
+                             self.name, submitted_at, self.sim.now,
+                             deltas=list(reply.deltas),
+                             read_values=dict(reply.read_values))
+        done.fire(result)
+        self.system.results.append(result)
+
+    def _timeout(self, txn_id: str, label: str) -> None:
+        pending = self._pending.pop(txn_id, None)
+        if pending is None:
+            return
+        done, submitted_at, _label = pending
+        self._timers.pop(txn_id, None)
+        result = make_result(txn_id, label, Outcome.ABORTED, "timeout",
+                             self.name, submitted_at, self.sim.now)
+        done.fire(result)
+        self.system.results.append(result)
+
+
+class PrimaryCopySystem:
+    """Primary-copy replicated store."""
+
+    def __init__(self, sites: list[str], seed: int = 0,
+                 link: LinkConfig | None = None,
+                 config: BaselineConfig | None = None,
+                 allow_stale_reads: bool = False) -> None:
+        self.sim = Simulator(seed)
+        self.network = Network(self.sim, link or LinkConfig())
+        self.config = config or BaselineConfig()
+        self.allow_stale_reads = allow_stale_reads
+        self.primary: dict[str, str] = {}
+        self.results: list[TxnResult] = []
+        self.sites = {name: PrimaryCopySite(name, self.sim, self.network,
+                                            self.config, self)
+                      for name in sites}
+
+    def add_item(self, item: str, primary: str, initial: Any) -> None:
+        self.primary[item] = primary
+        for site in self.sites.values():
+            site.store.create(item, initial)
+
+    def submit(self, origin: str, spec: TransactionSpec,
+               on_done: Callable[[TxnResult], None] | None = None) -> str:
+        return self.sites[origin].submit(spec, on_done)
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run_until(self.sim.now + duration)
+
+    def value(self, item: str) -> Any:
+        return self.sites[self.primary[item]].store.get(item).value

@@ -1,0 +1,318 @@
+"""Replicated data with quorum consensus.
+
+Every item is fully replicated at every site with a version number. An
+update must lock and write a *write quorum* of replicas; a read must
+consult a *read quorum* (r + w > n). During a partition only a group
+containing a quorum can make progress — the availability loss that
+experiment E2 quantifies against DvP, where *every* group keeps serving
+from its local quotas.
+
+The implementation is the classic lock-quorum protocol: gather grants
+from w replicas (each grant locks that replica), act on the
+highest-version value, push the new version to the granting replicas,
+release. A coordinator that cannot assemble the quorum inside its
+timeout releases whatever it locked and aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.baselines.common import (
+    BaselineConfig,
+    IdSource,
+    PendingDone,
+    WholeStore,
+    make_result,
+)
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    Outcome,
+    ReadFullOp,
+    TransactionSpec,
+    TxnResult,
+)
+from repro.net.link import LinkConfig
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+from repro.storage.log import StableLog
+
+
+@dataclass(frozen=True)
+class LockReq:
+    txn_id: str
+    origin: str
+    item: str
+    round: int = 0
+
+
+@dataclass(frozen=True)
+class LockReply:
+    txn_id: str
+    replica: str
+    item: str
+    granted: bool
+    version: int = -1
+    value: Any = None
+    round: int = 0
+
+
+@dataclass(frozen=True)
+class WriteReq:
+    txn_id: str
+    item: str
+    value: Any
+    version: int
+
+
+@dataclass(frozen=True)
+class ReleaseReq:
+    txn_id: str
+    item: str
+
+
+@dataclass
+class _Attempt:
+    txn_id: str
+    spec: TransactionSpec
+    done: PendingDone
+    submitted_at: float
+    grants: dict[str, tuple[int, Any]] = field(default_factory=dict)
+    denied: set[str] = field(default_factory=set)
+    finished: bool = False
+    round: int = 0
+
+
+class QuorumSite:
+    """One replica holder / coordinator."""
+
+    def __init__(self, name: str, sim: Simulator, network: Network,
+                 config: BaselineConfig, system: "QuorumSystem") -> None:
+        self.name = name
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.system = system
+        self.store = WholeStore()
+        self.log = StableLog(name)
+        self.alive = True
+        self._ids = IdSource(name)
+        self._attempts: dict[str, _Attempt] = {}
+        self._timers: dict[str, Timer] = {}
+        network.register(name, self.deliver)
+
+    # -- client API --------------------------------------------------------
+
+    def submit(self, spec: TransactionSpec,
+               on_done: Callable[[TxnResult], None] | None) -> str:
+        if len(spec.items()) != 1:
+            raise ValueError("quorum baseline supports single-item txns")
+        txn_id = self._ids.next()
+        attempt = _Attempt(txn_id, spec, PendingDone(on_done), self.sim.now)
+        self._attempts[txn_id] = attempt
+        self._send_lock_round(attempt)
+        timer = Timer(self.sim, lambda: self._timeout(txn_id),
+                      label=f"quorum-timeout:{txn_id}")
+        timer.start(self.config.txn_timeout)
+        self._timers[txn_id] = timer
+        return txn_id
+
+    def _send_lock_round(self, attempt: _Attempt) -> None:
+        item = next(iter(attempt.spec.items()))
+        for replica in self.system.sites:
+            request = LockReq(attempt.txn_id, self.name, item,
+                              attempt.round)
+            if replica == self.name:
+                self._on_lock_req(request)
+            else:
+                self.network.send(self.name, replica, request)
+
+    # -- replica side ---------------------------------------------------------
+
+    def deliver(self, envelope: Envelope) -> None:
+        if not self.alive:
+            return
+        payload = envelope.payload
+        if isinstance(payload, LockReq):
+            self._on_lock_req(payload)
+        elif isinstance(payload, LockReply):
+            self._on_lock_reply(payload)
+        elif isinstance(payload, WriteReq):
+            self._on_write(payload)
+        elif isinstance(payload, ReleaseReq):
+            self._on_release(payload)
+
+    def _on_lock_req(self, request: LockReq) -> None:
+        item = self.store.get(request.item)
+        if item.locked_by is None or item.locked_by == request.txn_id:
+            item.locked_by = request.txn_id
+            reply = LockReply(request.txn_id, self.name, request.item,
+                              True, item.version, item.value,
+                              request.round)
+        else:
+            reply = LockReply(request.txn_id, self.name, request.item,
+                              False, round=request.round)
+        if request.origin == self.name:
+            self._on_lock_reply(reply)
+        else:
+            self.network.send(self.name, request.origin, reply)
+
+    def _on_write(self, request: WriteReq) -> None:
+        item = self.store.get(request.item)
+        if request.version > item.version:
+            item.value = request.value
+            item.version = request.version
+            self.log.append(("replica-write", request.txn_id, request.item,
+                             request.value, request.version))
+        if item.locked_by == request.txn_id:
+            item.locked_by = None
+
+    def _on_release(self, request: ReleaseReq) -> None:
+        item = self.store.get(request.item)
+        if item.locked_by == request.txn_id:
+            item.locked_by = None
+
+    # -- coordinator side --------------------------------------------------------
+
+    def _on_lock_reply(self, reply: LockReply) -> None:
+        attempt = self._attempts.get(reply.txn_id)
+        if attempt is None or attempt.finished:
+            if reply.granted:
+                # Straggler grant after the attempt ended: release it.
+                self._send_release(reply.txn_id, reply.item, reply.replica)
+            return
+        if reply.round != attempt.round:
+            return  # reply from an abandoned round
+        if reply.granted:
+            attempt.grants[reply.replica] = (reply.version, reply.value)
+        else:
+            attempt.denied.add(reply.replica)
+        needed = self.system.write_quorum
+        if len(attempt.grants) >= needed:
+            self._execute(attempt)
+        elif len(self.system.sites) - len(attempt.denied) < needed:
+            self._retry(attempt)
+
+    def _retry(self, attempt: _Attempt) -> None:
+        """Lock collision: back off and try a fresh round (until the
+        transaction's own timeout aborts it)."""
+        item_name = next(iter(attempt.spec.items()))
+        for replica in list(attempt.grants):
+            self._send_release(attempt.txn_id, item_name, replica)
+        attempt.grants.clear()
+        attempt.denied.clear()
+        attempt.round += 1
+        backoff = self.sim.rng.stream(f"quorum-backoff:{self.name}") \
+            .uniform(0.5, 3.0)
+        self.sim.after(backoff,
+                       lambda: self._retry_fire(attempt.txn_id,
+                                                attempt.round),
+                       label=f"quorum-retry:{attempt.txn_id}")
+
+    def _retry_fire(self, txn_id: str, round_number: int) -> None:
+        attempt = self._attempts.get(txn_id)
+        if attempt is None or attempt.finished or \
+                attempt.round != round_number:
+            return
+        self._send_lock_round(attempt)
+
+    def _execute(self, attempt: _Attempt) -> None:
+        item_name = next(iter(attempt.spec.items()))
+        version, value = max(attempt.grants.values())
+        reads: dict[str, Any] = {}
+        deltas: list[tuple[str, int, Any]] = []
+        new_value = value
+        for op in attempt.spec.ops:
+            if isinstance(op, DecrementOp):
+                if new_value < op.amount:
+                    self._finish(attempt, Outcome.ABORTED, "insufficient")
+                    return
+                new_value -= op.amount
+                deltas.append((op.item, -1, op.amount))
+            elif isinstance(op, IncrementOp):
+                new_value += op.amount
+                deltas.append((op.item, +1, op.amount))
+            elif isinstance(op, ReadFullOp):
+                reads[op.item] = new_value
+            else:
+                self._finish(attempt, Outcome.ABORTED, "unsupported-op")
+                return
+        new_version = version + 1
+        for replica in attempt.grants:
+            request = WriteReq(attempt.txn_id, item_name, new_value,
+                               new_version)
+            if replica == self.name:
+                self._on_write(request)
+            else:
+                self.network.send(self.name, replica, request)
+        self._finish(attempt, Outcome.COMMITTED, "ok", deltas, reads)
+
+    def _timeout(self, txn_id: str) -> None:
+        attempt = self._attempts.get(txn_id)
+        if attempt is None or attempt.finished:
+            return
+        self._finish(attempt, Outcome.ABORTED, "timeout")
+
+    def _finish(self, attempt: _Attempt, outcome: Outcome, reason: str,
+                deltas: list | None = None,
+                reads: dict[str, Any] | None = None) -> None:
+        attempt.finished = True
+        timer = self._timers.pop(attempt.txn_id, None)
+        if timer is not None:
+            timer.cancel()
+        if outcome is Outcome.ABORTED:
+            item_name = next(iter(attempt.spec.items()))
+            for replica in attempt.grants:
+                self._send_release(attempt.txn_id, item_name, replica)
+        result = make_result(attempt.txn_id, attempt.spec.label, outcome,
+                             reason, self.name, attempt.submitted_at,
+                             self.sim.now, deltas=deltas, read_values=reads)
+        attempt.done.fire(result)
+        self.system.results.append(result)
+
+    def _send_release(self, txn_id: str, item: str, replica: str) -> None:
+        request = ReleaseReq(txn_id, item)
+        if replica == self.name:
+            self._on_release(request)
+        else:
+            self.network.send(self.name, replica, request)
+
+
+class QuorumSystem:
+    """Fully replicated items under quorum consensus."""
+
+    def __init__(self, sites: list[str], seed: int = 0,
+                 link: LinkConfig | None = None,
+                 config: BaselineConfig | None = None,
+                 write_quorum: int | None = None) -> None:
+        self.sim = Simulator(seed)
+        self.network = Network(self.sim, link or LinkConfig())
+        self.config = config or BaselineConfig()
+        self.results: list[TxnResult] = []
+        self.sites: dict[str, QuorumSite] = {}
+        for name in sites:
+            self.sites[name] = QuorumSite(name, self.sim, self.network,
+                                          self.config, self)
+        self.write_quorum = (write_quorum if write_quorum is not None
+                             else len(sites) // 2 + 1)
+
+    def add_item(self, item: str, initial: Any) -> None:
+        for site in self.sites.values():
+            site.store.create(item, initial)
+
+    def submit(self, origin: str, spec: TransactionSpec,
+               on_done: Callable[[TxnResult], None] | None = None) -> str:
+        return self.sites[origin].submit(spec, on_done)
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run_until(self.sim.now + duration)
+
+    def value(self, item: str) -> Any:
+        """Latest-version value across replicas (god's-eye read)."""
+        best = max((site.store.get(item).version, site.store.get(item).value)
+                   for site in self.sites.values())
+        return best[1]

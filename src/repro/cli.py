@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+    python -m repro list                      # experiment index
+    python -m repro run E3 [--full]           # run one experiment
+    python -m repro run all [--full]          # run every experiment
+    python -m repro chaos --seed 7 --loss 0.4 # randomized audit run
+
+``run`` uses the quick presets by default (seconds); ``--full``
+reproduces the tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments
+
+
+def _cmd_list(_args) -> int:
+    for experiment_id in experiments.all_ids():
+        module = experiments.get(experiment_id)
+        first_line = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{experiment_id:>4}  {first_line}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    targets = (experiments.all_ids() if args.experiment.lower() == "all"
+               else [args.experiment])
+    for experiment_id in targets:
+        try:
+            module = experiments.get(experiment_id)
+        except KeyError:
+            print(f"unknown experiment {experiment_id!r}; "
+                  f"try one of {', '.join(experiments.all_ids())}",
+                  file=sys.stderr)
+            return 2
+        params = module.Params() if args.full else module.Params.quick()
+        print(module.run(params))
+        print()
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.core.domain import CounterDomain
+    from repro.core.system import DvPSystem, SystemConfig
+    from repro.metrics.collector import Collector
+    from repro.net.link import LinkConfig
+    from repro.workloads.airline import AirlineWorkload
+    from repro.workloads.base import WorkloadConfig, WorkloadDriver
+
+    sites = [f"S{index}" for index in range(args.sites)]
+    system = DvPSystem(SystemConfig(
+        sites=sites, seed=args.seed, txn_timeout=args.timeout,
+        link=LinkConfig(base_delay=1.0, jitter=1.0,
+                        loss_probability=args.loss,
+                        duplicate_probability=0.1)))
+    system.add_item("item", CounterDomain(), total=args.total)
+    config = WorkloadConfig(arrival_rate=args.rate,
+                            duration=args.duration)
+    collector = Collector()
+    WorkloadDriver(system.sim, system, sites,
+                   AirlineWorkload(["item"], config), config,
+                   collector).install()
+    rng = system.sim.rng.stream("cli-chaos")
+    half = len(sites) // 2
+    system.sim.at(args.duration * 0.25,
+                  lambda: system.network.partition(
+                      [sites[:half], sites[half:]]))
+    system.sim.at(args.duration * 0.6, system.network.heal)
+    victim = rng.choice(sites)
+    system.sim.at(args.duration * 0.4, lambda: system.crash(victim))
+    system.sim.at(args.duration * 0.7, lambda: system.recover(victim))
+    system.run_until(args.duration)
+    system.network.heal()
+    for site in system.sites.values():
+        if not site.alive:
+            site.recover()
+    system.run_for(args.timeout + 300.0)
+
+    print(f"sites={args.sites} loss={args.loss} seed={args.seed} "
+          f"duration={args.duration}")
+    print(f"decided {len(collector.results)} transactions "
+          f"({100 * collector.commit_rate():.1f}% committed, "
+          f"max decision time {collector.max_latency():.1f} <= "
+          f"timeout {args.timeout})")
+    ok = True
+    for report in system.audit():
+        print(f"audit: {report}")
+        ok = ok and report.ok
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Data-value Partitioning and "
+                    "Virtual Messages' (PODS 1990)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiments") \
+        .set_defaults(func=_cmd_list)
+
+    run_parser = commands.add_parser("run", help="run an experiment")
+    run_parser.add_argument("experiment",
+                            help="experiment id (E1..E11) or 'all'")
+    run_parser.add_argument("--full", action="store_true",
+                            help="full preset (EXPERIMENTS.md numbers)")
+    run_parser.set_defaults(func=_cmd_run)
+
+    chaos_parser = commands.add_parser(
+        "chaos", help="randomized failure run with conservation audit")
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument("--sites", type=int, default=4)
+    chaos_parser.add_argument("--loss", type=float, default=0.3)
+    chaos_parser.add_argument("--rate", type=float, default=0.08)
+    chaos_parser.add_argument("--total", type=int, default=200)
+    chaos_parser.add_argument("--duration", type=float, default=200.0)
+    chaos_parser.add_argument("--timeout", type=float, default=15.0)
+    chaos_parser.set_defaults(func=_cmd_chaos)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,230 @@
+"""Partitionable value domains — the formal objects of Section 4.1.
+
+A data item ``d`` is drawn from a domain Γ. It is stored as a multiset
+``b ∈ Γ⁺`` of *fragments* with a surjective map ``Π : Γ⁺ → Γ``
+recovering the logical value, and Π must be *partitionable*: applying Π
+to any partition of ``b`` and then to the results gives the same value
+(associativity/commutativity of the combine step).
+
+A :class:`Domain` packages Γ's representation with:
+
+* ``zero()``        — Π of the empty multiset (the identity);
+* ``combine(a, b)`` — the binary step of Π;
+* ``split(v, want)``— carve a piece out of a fragment (the primitive
+  behind every redistribution operator): returns ``(granted,
+  remainder)`` with ``combine(granted, remainder) == v``;
+* ``covers(v, need)`` — can a transaction needing *need* execute on a
+  fragment holding *v*?
+
+The three concrete domains are the paper's motivating applications:
+counters (airline seats, inventory units), money, and a token multiset
+domain demonstrating that Γ need not be numeric.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Any, Generic, Iterable, TypeVar
+
+V = TypeVar("V")
+
+
+class DomainError(ValueError):
+    """A value outside Γ, or an ill-formed split."""
+
+
+class Domain(ABC, Generic[V]):
+    """Abstract partitionable domain (Γ, Π)."""
+
+    name: str = "domain"
+
+    @abstractmethod
+    def zero(self) -> V:
+        """Identity of Π: the value of an empty fragment."""
+
+    @abstractmethod
+    def combine(self, a: V, b: V) -> V:
+        """Binary step of Π; must be associative and commutative."""
+
+    @abstractmethod
+    def validate(self, value: V) -> V:
+        """Return *value* if it lies in Γ, else raise DomainError."""
+
+    @abstractmethod
+    def split(self, value: V, want: V) -> tuple[V, V]:
+        """Carve up to *want* out of *value* → (granted, remainder).
+
+        ``combine(granted, remainder) == value`` always holds; granted
+        is maximal but never exceeds *want* (the "effective" clause of
+        partitionable operators: a fragment can only give what it has).
+        """
+
+    @abstractmethod
+    def covers(self, value: V, need: V) -> bool:
+        """True if a fragment holding *value* satisfies *need*."""
+
+    @abstractmethod
+    def subtract(self, a: V, b: V) -> V:
+        """Inverse of combine where defined: a - b (b must fit in a).
+
+        Used by the conservation auditor to maintain expected totals;
+        raises DomainError when b does not fit.
+        """
+
+    @abstractmethod
+    def deficit(self, value: V, need: V) -> V:
+        """What is still missing from *value* to cover *need*."""
+
+    def is_zero(self, value: V) -> bool:
+        return value == self.zero()
+
+    def pi(self, fragments: Iterable[V]) -> V:
+        """Π itself: fold combine over a multiset of fragments."""
+        total = self.zero()
+        for fragment in fragments:
+            total = self.combine(total, fragment)
+        return total
+
+    def describe(self, value: V) -> str:
+        """Human-readable rendering used by examples and tables."""
+        return str(value)
+
+
+class CounterDomain(Domain[int]):
+    """Non-negative integers under addition.
+
+    The paper's running example: seats on a flight, units in stock.
+    """
+
+    name = "counter"
+
+    def zero(self) -> int:
+        return 0
+
+    def combine(self, a: int, b: int) -> int:
+        return a + b
+
+    def validate(self, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise DomainError(f"counter values must be int, got {value!r}")
+        if value < 0:
+            raise DomainError(f"counter values must be >= 0, got {value}")
+        return value
+
+    def split(self, value: int, want: int) -> tuple[int, int]:
+        self.validate(value)
+        self.validate(want)
+        granted = min(value, want)
+        return granted, value - granted
+
+    def covers(self, value: int, need: int) -> bool:
+        return value >= need
+
+    def subtract(self, a: int, b: int) -> int:
+        if b > a:
+            raise DomainError(f"cannot subtract {b} from {a}")
+        return a - b
+
+    def deficit(self, value: int, need: int) -> int:
+        return max(0, need - value)
+
+
+class MoneyDomain(CounterDomain):
+    """Non-negative amounts of money in integral cents.
+
+    Identical algebra to the counter; the subclass exists so bank
+    balances render as currency and so applications can't accidentally
+    mix seats with dollars when items carry their domain.
+    """
+
+    name = "money"
+
+    def describe(self, value: int) -> str:
+        return f"${value / 100:,.2f}"
+
+
+class TokenSetDomain(Domain[Counter]):
+    """Multisets of hashable tokens under multiset union.
+
+    Demonstrates the paper's generality claim ("extend the methods to
+    handle more data types"): Γ here is itself a multiset domain — think
+    distinguishable coupons or serialized gift cards pooled across
+    branches. Splitting grants whichever requested tokens are present.
+    """
+
+    name = "tokens"
+
+    def zero(self) -> Counter:
+        return Counter()
+
+    def combine(self, a: Counter, b: Counter) -> Counter:
+        result = Counter(a)
+        result.update(b)
+        return result
+
+    def validate(self, value: Counter) -> Counter:
+        if not isinstance(value, Counter):
+            raise DomainError(f"token values must be Counter, got {value!r}")
+        for token, count in value.items():
+            if count < 0:
+                raise DomainError(
+                    f"negative multiplicity {count} for token {token!r}")
+        return value
+
+    def split(self, value: Counter, want: Counter) -> tuple[Counter, Counter]:
+        self.validate(value)
+        self.validate(want)
+        granted: Counter = Counter()
+        for token, count in want.items():
+            available = value.get(token, 0)
+            if available:
+                granted[token] = min(count, available)
+        remainder = Counter(value)
+        remainder.subtract(granted)
+        remainder = +remainder  # drop zero entries
+        return granted, remainder
+
+    def covers(self, value: Counter, need: Counter) -> bool:
+        return all(value.get(token, 0) >= count
+                   for token, count in need.items())
+
+    def subtract(self, a: Counter, b: Counter) -> Counter:
+        if not self.covers(a, b):
+            raise DomainError(f"cannot subtract {b!r} from {a!r}")
+        result = Counter(a)
+        result.subtract(b)
+        return +result
+
+    def deficit(self, value: Counter, need: Counter) -> Counter:
+        missing: Counter = Counter()
+        for token, count in need.items():
+            short = count - value.get(token, 0)
+            if short > 0:
+                missing[token] = short
+        return missing
+
+    def is_zero(self, value: Counter) -> bool:
+        return not +Counter(value)
+
+    def describe(self, value: Counter) -> str:
+        if not value:
+            return "{}"
+        inner = ", ".join(f"{token}×{count}"
+                          for token, count in sorted(value.items()))
+        return "{" + inner + "}"
+
+
+def check_partitionable(domain: Domain, fragments: list[Any],
+                        groupings: list[list[list[Any]]]) -> bool:
+    """Verify the partitionable property of Π on concrete data.
+
+    For each grouping of *fragments* into sub-multisets b_1..b_m, check
+    Π({Π(b_1)..Π(b_m)}) == Π(b). Used by the property-based tests.
+    """
+    expected = domain.pi(fragments)
+    for grouping in groupings:
+        collapsed = [domain.pi(group) for group in grouping]
+        if domain.pi(collapsed) != expected:
+            return False
+    return True

@@ -1,0 +1,76 @@
+"""Per-site fragment store.
+
+A fragment is the local element of Π⁻¹(d): the stable page holds its
+value (see :mod:`repro.storage.pages`); this store adds the volatile
+metadata — the fragment timestamp TS(d_i) used by Conc1 — and the
+domain registry mapping each item to its (Γ, Π).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.domain import Domain
+from repro.storage.pages import PageStore
+
+
+class FragmentStore:
+    """Domain-aware view over a site's stable pages."""
+
+    def __init__(self, site: str, pages: PageStore) -> None:
+        self.site = site
+        self.pages = pages
+        self._domains: dict[str, Domain] = {}
+        self._timestamps: dict[str, int] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, item: str, domain: Domain, initial: Any) -> None:
+        """Install *item*'s local fragment with its *initial* quota."""
+        domain.validate(initial)
+        self._domains[item] = domain
+        self.pages.create(item, initial)
+        self._timestamps[item] = 0
+
+    def knows(self, item: str) -> bool:
+        return item in self._domains
+
+    def items(self) -> Iterator[str]:
+        yield from self._domains
+
+    def domain(self, item: str) -> Domain:
+        return self._domains[item]
+
+    # -- values (stable) ----------------------------------------------------
+
+    def value(self, item: str) -> Any:
+        return self.pages.read(item)
+
+    def write(self, item: str, value: Any, lsn: int) -> None:
+        self._domains[item].validate(value)
+        self.pages.write(item, value, lsn)
+
+    def redo_write(self, item: str, value: Any, lsn: int) -> bool:
+        """Idempotent redo (guarded by the page LSN)."""
+        return self.pages.write_if_newer(item, value, lsn)
+
+    # -- timestamps (volatile, log-reconstructed) ---------------------------
+
+    def timestamp(self, item: str) -> int:
+        return self._timestamps[item]
+
+    def stamp(self, item: str, ts: int) -> None:
+        self._timestamps[item] = ts
+
+    def stamp_if_newer(self, item: str, ts: int) -> None:
+        if ts > self._timestamps[item]:
+            self._timestamps[item] = ts
+
+    def reset_timestamps(self) -> None:
+        """Crash: volatile timestamps vanish (rebuilt by recovery)."""
+        for item in self._timestamps:
+            self._timestamps[item] = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Item → value view, used by audits and checkpoints."""
+        return {item: self.pages.read(item) for item in self._domains}

@@ -1,0 +1,132 @@
+"""Global conservation auditing.
+
+The scheme's central safety property (Section 3):
+
+    N >= N_W + N_X + N_Y + N_Z   at all times, and
+    N  = Σ fragments + Σ value carried by live Vm.
+
+The auditor is a god's-eye observer: it reads every site's stable pages
+and channel state directly (never through the network), maintains the
+*expected* logical value of every item from committed semantic deltas,
+and checks the conservation equation. It never influences execution —
+it exists so tests and experiments can assert that no failure scenario
+ever created or destroyed value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.domain import Domain
+from repro.core.transactions import TxnResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import DvPSystem
+
+
+@dataclass
+class AuditReport:
+    """Conservation check result for one item."""
+
+    item: str
+    expected: Any
+    fragments_total: Any
+    live_vm_total: Any
+    observed: Any
+    ok: bool
+    per_site: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "VIOLATION"
+        return (f"[{status}] {self.item}: expected={self.expected} "
+                f"fragments={self.fragments_total} in-flight="
+                f"{self.live_vm_total}")
+
+
+class ConservationAuditor:
+    """Tracks expected totals and verifies Σ fragments + Σ Vm = d."""
+
+    def __init__(self, system: "DvPSystem") -> None:
+        self.system = system
+        self._expected: dict[str, Any] = {}
+        self._domains: dict[str, Domain] = {}
+        self.commits_seen = 0
+
+    def register_item(self, item: str, domain: Domain, total: Any) -> None:
+        self._domains[item] = domain
+        self._expected[item] = total
+
+    def expected(self, item: str) -> Any:
+        return self._expected[item]
+
+    def on_result(self, result: TxnResult) -> None:
+        """Fold a committed transaction's semantic deltas into totals."""
+        if not result.committed:
+            return
+        self.commits_seen += 1
+        for item, sign, amount in result.semantic_deltas:
+            domain = self._domains[item]
+            if sign > 0:
+                self._expected[item] = domain.combine(self._expected[item],
+                                                      amount)
+            else:
+                self._expected[item] = domain.subtract(self._expected[item],
+                                                       amount)
+
+    # -- measurement ------------------------------------------------------
+
+    def fragments_total(self, item: str) -> Any:
+        domain = self._domains[item]
+        values = [site.fragments.value(item)
+                  for site in self.system.sites.values()
+                  if site.fragments.knows(item)]
+        return domain.pi(values)
+
+    def live_vm_total(self, item: str) -> Any:
+        """Σ value of Vm created but not yet accepted, per channel.
+
+        A Vm is live iff its sequence number exceeds the *receiver's*
+        accepted-up-to counter — sender-side ack state may lag (a lost
+        ack leaves the sender retransmitting an already-absorbed Vm,
+        which must not be double counted).
+        """
+        domain = self._domains[item]
+        total = domain.zero()
+        for sender in self.system.sites.values():
+            for dst, channel in sender.vm.outgoing.items():
+                receiver = self.system.sites[dst]
+                accepted = receiver.vm.in_channel(sender.name) \
+                    .cumulative_accepted
+                for seq, entry in channel.entries.items():
+                    if seq > accepted and entry.item == item:
+                        total = domain.combine(total, entry.amount)
+        return total
+
+    def check(self, item: str) -> AuditReport:
+        domain = self._domains[item]
+        fragments = self.fragments_total(item)
+        in_flight = self.live_vm_total(item)
+        observed = domain.combine(fragments, in_flight)
+        per_site = {site.name: site.fragments.value(item)
+                    for site in self.system.sites.values()
+                    if site.fragments.knows(item)}
+        return AuditReport(
+            item=item, expected=self._expected[item],
+            fragments_total=fragments, live_vm_total=in_flight,
+            observed=observed, ok=observed == self._expected[item],
+            per_site=per_site)
+
+    def check_all(self) -> list[AuditReport]:
+        return [self.check(item) for item in sorted(self._expected)]
+
+    def all_ok(self) -> bool:
+        return all(report.ok for report in self.check_all())
+
+    def assert_ok(self) -> None:
+        """Raise with full detail on the first violated item."""
+        for report in self.check_all():
+            if not report.ok:
+                raise AssertionError(
+                    f"conservation violated: {report} per_site="
+                    f"{report.per_site}")

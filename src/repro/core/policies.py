@@ -1,0 +1,123 @@
+"""Redistribution policies.
+
+The paper leaves open "the best ways to distribute the data ... and to
+reduce the message traffic" (Section 9). A policy answers the two
+questions the protocol needs answered:
+
+* requester side — *whom* to ask and *how much* to ask each site for,
+  given a deficit;
+* responder side — *how much* of the local fragment to grant a request
+  (grant everything? keep a reserve so local customers aren't starved?).
+
+Experiment E8 ablates the implementations below.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.core.domain import Domain
+
+
+class RedistributionPolicy(ABC):
+    """Strategy consulted when value must move between sites."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def targets(self, origin: str, peers: list[str], deficit: Any,
+                domain: Domain, rng) -> list[tuple[str, Any]]:
+        """Which peers to ask, and for how much each."""
+
+    @abstractmethod
+    def grant(self, domain: Domain, available: Any, requested: Any) -> Any:
+        """How much of *available* to give a request for *requested*."""
+
+
+class AskAllPolicy(RedistributionPolicy):
+    """Broadcast the full deficit to every peer; grant all you have.
+
+    Maximizes the chance of success and minimizes latency, at the cost
+    of message traffic and over-transfer (several sites may each send
+    the full deficit).
+    """
+
+    name = "ask-all"
+
+    def targets(self, origin: str, peers: list[str], deficit: Any,
+                domain: Domain, rng) -> list[tuple[str, Any]]:
+        return [(peer, deficit) for peer in peers]
+
+    def grant(self, domain: Domain, available: Any, requested: Any) -> Any:
+        granted, _remainder = domain.split(available, requested)
+        return granted
+
+
+class AskFewPolicy(RedistributionPolicy):
+    """Ask *fanout* randomly chosen peers for the full deficit each.
+
+    The paper's example ("a request for at least three seats is sent by
+    site X to one or more sites"): thrifty with messages, but a poor
+    draw of peers aborts the transaction.
+    """
+
+    name = "ask-few"
+
+    def __init__(self, fanout: int = 1) -> None:
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.fanout = fanout
+        self.name = f"ask-few({fanout})"
+
+    def targets(self, origin: str, peers: list[str], deficit: Any,
+                domain: Domain, rng) -> list[tuple[str, Any]]:
+        if not peers:
+            return []
+        chosen = rng.sample(peers, min(self.fanout, len(peers)))
+        return [(peer, deficit) for peer in chosen]
+
+    def grant(self, domain: Domain, available: Any, requested: Any) -> Any:
+        granted, _remainder = domain.split(available, requested)
+        return granted
+
+
+class ReservingPolicy(RedistributionPolicy):
+    """Ask everyone, but responders keep a reserve fraction at home.
+
+    Granting everything leaves the responder unable to serve its own
+    next customer; holding back ``reserve_fraction`` of the fragment
+    trades some requester aborts for responder-side availability.
+    Only meaningful for numeric (counter-like) domains.
+    """
+
+    name = "reserving"
+
+    def __init__(self, reserve_fraction: float = 0.5) -> None:
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+        self.reserve_fraction = reserve_fraction
+        self.name = f"reserving({reserve_fraction:g})"
+
+    def targets(self, origin: str, peers: list[str], deficit: Any,
+                domain: Domain, rng) -> list[tuple[str, Any]]:
+        return [(peer, deficit) for peer in peers]
+
+    def grant(self, domain: Domain, available: Any, requested: Any) -> Any:
+        if not isinstance(available, int):
+            granted, _remainder = domain.split(available, requested)
+            return granted
+        givable = available - int(available * self.reserve_fraction)
+        granted, _remainder = domain.split(givable, requested)
+        return granted
+
+
+def make_policy(name: str, **kwargs) -> RedistributionPolicy:
+    """Factory by short name: ask-all | ask-few | reserving."""
+    if name == "ask-all":
+        return AskAllPolicy()
+    if name == "ask-few":
+        return AskFewPolicy(**kwargs)
+    if name == "reserving":
+        return ReservingPolicy(**kwargs)
+    raise ValueError(f"unknown policy {name!r}")

@@ -1,0 +1,133 @@
+"""Proactive background redistribution.
+
+The base protocol redistributes *on demand*: a site asks for value only
+when a transaction is short (Section 3: "requests other sites ... in
+the case of being unable to proceed with what is available"). The paper
+leaves "the best ways to distribute the data" open (Section 9); this
+module implements the natural proactive complement: a per-site daemon
+that periodically ships surplus above a target level to peers,
+round-robin, as ordinary Rds transactions (a Vm per shipment).
+
+Rebalancing never changes any item's value — it only moves fragments —
+so it composes with every other mechanism: the conservation auditor,
+recovery, and both CC schemes see nothing unusual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.timers import PeriodicTimer
+from repro.storage.records import SetFragment, VmCreateRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.site import DvPSite
+
+
+@dataclass(frozen=True)
+class RebalanceConfig:
+    """When and how much to ship.
+
+    A site holding more than ``high_watermark × target`` of an item
+    ships the excess above ``target`` to the next peer in round-robin
+    order. ``target`` defaults to the site's initial quota (captured at
+    daemon start). Only integer-valued (counter-like) domains are
+    rebalanced; other domains are skipped.
+    """
+
+    period: float = 20.0
+    high_watermark: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.high_watermark < 1.0:
+            raise ValueError("high_watermark must be >= 1")
+
+
+class RebalanceDaemon:
+    """Periodic surplus shipper for one site."""
+
+    def __init__(self, site: "DvPSite",
+                 config: RebalanceConfig | None = None) -> None:
+        self.site = site
+        self.config = config or RebalanceConfig()
+        self.targets: dict[str, int] = {}
+        self.shipments = 0
+        self._round_robin = 0
+        self._timer = PeriodicTimer(site.sim, self.config.period,
+                                    self.tick,
+                                    label=f"rebalance:{site.name}")
+
+    def start(self) -> None:
+        """Capture current fragments as targets and begin ticking."""
+        for item in self.site.fragments.items():
+            value = self.site.fragments.value(item)
+            if isinstance(value, int):
+                self.targets[item] = value
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._timer.running
+
+    def tick(self) -> None:
+        """One pass: ship surplus of every over-target item."""
+        if not self.site.alive:
+            return
+        for item, target in self.targets.items():
+            self._maybe_ship(item, target)
+
+    def _maybe_ship(self, item: str, target: int) -> None:
+        site = self.site
+        if not site.locks.is_free(item):
+            return
+        value = site.fragments.value(item)
+        if not isinstance(value, int):
+            return
+        threshold = max(target, 1) * self.config.high_watermark
+        if value <= threshold:
+            return
+        surplus = value - target
+        peers = site.peers()
+        if not peers:
+            return
+        peer = peers[self._round_robin % len(peers)]
+        self._round_robin += 1
+        # Ship as an Rds transaction: lock, log [actions, messages],
+        # apply, send, release — identical discipline to honoring a
+        # request.
+        owner = f"rebalance:{site.name}:{self.shipments}"
+        if not site.locks.try_acquire_all(owner, {item}):
+            return
+        try:
+            ts = site.clock.next()
+            remainder = value - surplus
+            entry = site.vm.allocate_entry(peer, item, surplus,
+                                           "transfer", owner)
+            lsn = site.log_append(VmCreateRecord(
+                txn_id=owner,
+                actions=(SetFragment(item, remainder, ts=ts),),
+                messages=(entry,)))
+            site.apply_actions((SetFragment(item, remainder, ts=ts),),
+                               lsn)
+            site.vm.register_created([entry])
+            self.shipments += 1
+        finally:
+            site.locks.release_all(owner)
+            site.after_lock_release()
+
+
+def install_rebalancing(system, config: RebalanceConfig | None = None
+                        ) -> dict[str, RebalanceDaemon]:
+    """Attach and start a daemon at every site of a DvPSystem."""
+    daemons = {}
+    for name, site in system.sites.items():
+        daemon = RebalanceDaemon(site, config)
+        daemon.start()
+        daemons[name] = daemon
+    return daemons

@@ -1,0 +1,404 @@
+"""A DvP site: fragment store + stable log + Vm engine + lock table +
+concurrency control + transaction executor + remote-request handler.
+
+Everything a site ever does falls into the paper's two conceptual
+transaction classes: *real* transactions (submitted by clients, may
+change item values) and *Rds* transactions (honoring remote requests,
+accepting virtual messages — change only the distribution). The Rds
+work is performed inline by the handlers below, under the same locks
+and logging discipline as real transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.core.cc import ConcurrencyControl
+from repro.core.fragments import FragmentStore
+from repro.core.locks import LockTable
+from repro.core.messages import (
+    READ_MODE,
+    DataRequest,
+    TsAdvisory,
+    VmAck,
+    VmTransfer,
+)
+from repro.core.policies import RedistributionPolicy
+from repro.core.timestamps import LamportClock
+from repro.core.transactions import Transaction, TransactionSpec, TxnResult
+from repro.core.vm import VmManager
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.storage.checkpoint import CheckpointPolicy
+from repro.storage.log import StableLog
+from repro.storage.pages import PageStore
+from repro.storage.records import (
+    CheckpointRecord,
+    SetFragment,
+    VmAcceptRecord,
+    VmCreateRecord,
+)
+
+
+@dataclass
+class SiteConfig:
+    """Per-site protocol knobs."""
+
+    txn_timeout: float = 30.0
+    retransmit_period: float = 5.0
+    checkpoint_interval: int = 0  # log records between checkpoints; 0 = off
+    #: Retry request rounds before the timeout fires (Section 5 mentions
+    #: "the requests could be re-tried a few more times" as a variation;
+    #: 0 reproduces the paper's pessimistic base protocol).
+    request_retries: int = 0
+    #: After honoring a read-drain, keep the drained fragment locked for
+    #: this long (None = txn_timeout). Reproduction finding: without
+    #: this freeze a drained site can be re-funded (local increments,
+    #: arriving Vm) before the reader commits, and the committed read
+    #: misses that value non-serializably. The freeze realizes the
+    #: paper's implicit serial-execution assumption that "all sites
+    #: other than the site where the read is performed will have null
+    #: values" while the read completes; it is time-bounded, so the
+    #: non-blocking property survives.
+    read_freeze: float | None = None
+    #: Sliding-window cap on in-flight Vm per channel (None = unbounded).
+    vm_window: int | None = None
+
+
+class SiteDown(RuntimeError):
+    """Submission attempted at a crashed site."""
+
+
+class DvPSite:
+    """One failure-prone site in a DvP system."""
+
+    def __init__(self, name: str, rank: int, sim: Simulator,
+                 network: Network, cc: ConcurrencyControl,
+                 policy: RedistributionPolicy,
+                 config: SiteConfig | None = None,
+                 on_result: Callable[[TxnResult], None] | None = None) -> None:
+        self.name = name
+        self.rank = rank
+        self.sim = sim
+        self.network = network
+        self.cc = cc
+        self.policy = policy
+        self.config = config or SiteConfig()
+        self.on_result = on_result
+
+        self.log = StableLog(name)
+        self.pages = PageStore(name)
+        self.fragments = FragmentStore(name, self.pages)
+        self.locks = LockTable()
+        self.clock = LamportClock(rank)
+        self.vm = self._new_vm_manager()
+        self.checkpoint_policy = CheckpointPolicy(
+            self.config.checkpoint_interval)
+
+        self.alive = True
+        self.active: dict[str, Transaction] = {}
+        self.crash_count = 0
+        self.requests_honored = 0
+        self.requests_ignored = 0
+        self._txn_counter = 0
+        self._rds_counter = 0
+        self._records_since_checkpoint = 0
+        self._checkpoint_scheduled = False
+
+        network.register(name, self.deliver)
+
+    def _new_vm_manager(self) -> VmManager:
+        return VmManager(
+            self.name, self.sim,
+            send=lambda dst, payload: self.network.send(self.name, dst,
+                                                        payload),
+            accept=self._accept_vm,
+            clock_ts=self.clock.next,
+            retransmit_period=self.config.retransmit_period,
+            window=self.config.vm_window)
+
+    # -- topology ---------------------------------------------------------
+
+    def peers(self) -> list[str]:
+        """Every other site (all sites hold fragments of all items)."""
+        return [site for site in self.network.sites if site != self.name]
+
+    # -- client API -------------------------------------------------------
+
+    def next_txn_id(self) -> str:
+        self._txn_counter += 1
+        return f"{self.name}#{self._txn_counter}"
+
+    def submit(self, spec: TransactionSpec,
+               on_done: Callable[[TxnResult], None] | None = None
+               ) -> Transaction:
+        """Initiate a transaction at this site (Section 5's sequence)."""
+        if not self.alive:
+            raise SiteDown(f"site {self.name} is down")
+        txn = Transaction(self, spec, self._wrap_done(on_done),
+                          self.config.txn_timeout)
+        self.active[txn.id] = txn
+        txn.start()
+        return txn
+
+    def _wrap_done(self, on_done):
+        def done(result: TxnResult) -> None:
+            if self.on_result is not None:
+                self.on_result(result)
+            if on_done is not None:
+                on_done(result)
+        return done
+
+    def transaction_finished(self, txn: Transaction) -> None:
+        """Step 7 aftermath: drop it from the active set, poke waiters."""
+        self.active.pop(txn.id, None)
+        self.after_lock_release()
+
+    def after_lock_release(self) -> None:
+        """Locks freed: pending Vm may now be acceptable."""
+        if self.alive:
+            self.vm.poke()
+
+    # -- logging ----------------------------------------------------------
+
+    def log_append(self, record: Any) -> int:
+        """Force a record; take a checkpoint when the policy says so.
+
+        The checkpoint itself is deferred to a fresh event: callers
+        apply a record's actions immediately after appending it, and a
+        checkpoint taken in between would let recovery skip a
+        committed-but-unapplied action (the checkpoint sits after the
+        commit record, so the redo scan would never revisit it).
+        """
+        lsn = self.log.append(record)
+        self._records_since_checkpoint += 1
+        if self.checkpoint_policy.due(self._records_since_checkpoint) \
+                and not self._checkpoint_scheduled:
+            self._checkpoint_scheduled = True
+            self.sim.after(0.0, self._deferred_checkpoint,
+                           label=f"checkpoint:{self.name}")
+        return lsn
+
+    def _deferred_checkpoint(self) -> None:
+        self._checkpoint_scheduled = False
+        if self.alive:
+            self.write_checkpoint()
+
+    def write_checkpoint(self) -> int:
+        """Append a fuzzy checkpoint of fragments and channel state."""
+        snapshot = sorted(self.fragments.snapshot().items(),
+                          key=lambda kv: kv[0])
+        record = CheckpointRecord(
+            fragments=tuple(snapshot),
+            fragment_timestamps=tuple(
+                (item, self.fragments.timestamp(item))
+                for item, _value in snapshot),
+            outgoing_unacked=tuple(
+                entry for channel in self.vm.outgoing.values()
+                for entry in channel.unacked()),
+            incoming_cumulative=tuple(
+                (src, channel.cumulative_accepted)
+                for src, channel in sorted(self.vm.incoming.items())),
+            next_channel_seq=tuple(
+                (dst, channel.next_seq)
+                for dst, channel in sorted(self.vm.outgoing.items())),
+            extra=(("clock", self.clock.counter),))
+        lsn = self.log.append(record)
+        self._records_since_checkpoint = 0
+        return lsn
+
+    def apply_actions(self, actions: Iterable[SetFragment],
+                      lsn: int) -> None:
+        """Write logged actions through to the stable pages."""
+        for action in actions:
+            self.fragments.write(action.item, action.value, lsn)
+            self.fragments.stamp_if_newer(action.item, action.ts)
+
+    # -- message plumbing ---------------------------------------------------
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Network delivery handler; a dead site hears nothing."""
+        if not self.alive:
+            return
+        payload = envelope.payload
+        if isinstance(payload, DataRequest):
+            self.clock.observe(payload.ts)
+            self.handle_request(payload)
+        elif isinstance(payload, VmTransfer):
+            self.clock.observe(payload.ts)
+            self.vm.on_transfer(payload)
+            self._recheck_active()
+        elif isinstance(payload, VmAck):
+            self.clock.observe(payload.ts)
+            self.vm.on_ack(payload)
+            self._recheck_active()
+        elif isinstance(payload, TsAdvisory):
+            self.clock.observe(payload.ts)
+
+    def send_request(self, dst: str, request: DataRequest) -> None:
+        """Fire-and-forget: requests carry no delivery guarantee."""
+        self.network.send(self.name, dst, request)
+
+    def _recheck_active(self) -> None:
+        for txn in list(self.active.values()):
+            txn.recheck()
+
+    # -- remote request handling (Rds transactions) --------------------------
+
+    def handle_request(self, request: DataRequest) -> None:
+        """Decide whether to honor a remote request (Section 5).
+
+        Any reason suffices to ignore a request — the requester relies
+        only on its timeout. Honoring runs as an Rds transaction under
+        the site's own locks and logging.
+        """
+        if not self.fragments.knows(request.item):
+            self.requests_ignored += 1
+            return
+        self._rds_counter += 1
+        owner = f"rds:{self.name}:{self._rds_counter}"
+        if self.cc.waits_for_locks:
+            granted = self.locks.acquire_all_or_wait(
+                owner, {request.item},
+                lambda: self._honor_locked(owner, request))
+            if granted:
+                self._honor_locked(owner, request)
+            return
+        if not self.locks.is_free(request.item):
+            self.requests_ignored += 1
+            return
+        if not self.cc.may_honor(self, request.ts, request.item):
+            self.requests_ignored += 1
+            self.network.send(self.name, request.origin, TsAdvisory(
+                self.fragments.timestamp(request.item)))
+            return
+        if not self.locks.try_acquire_all(owner, {request.item}):
+            self.requests_ignored += 1
+            return
+        self._honor_locked(owner, request)
+
+    def _honor_locked(self, owner: str, request: DataRequest) -> None:
+        """Create and dispatch the response Vm while holding the lock.
+
+        Transfer grants release the lock immediately. Read drains keep
+        the fragment locked for the configured freeze window so the
+        reading transaction observes a stable "all other fragments are
+        null" state (see SiteConfig.read_freeze).
+        """
+        freeze = False
+        try:
+            item = request.item
+            domain = self.fragments.domain(item)
+            available = self.fragments.value(item)
+            if request.mode == READ_MODE:
+                # A site still owing value elsewhere cannot claim its
+                # fragment is complete — refuse (Section 5's rule).
+                if self.vm.has_outstanding(item):
+                    self.requests_ignored += 1
+                    return
+                granted, remainder = available, domain.zero()
+                kind = "read-drain"
+                freeze = True
+            else:
+                granted = self.policy.grant(domain, available, request.need)
+                if domain.is_zero(granted):
+                    self.requests_ignored += 1
+                    return
+                remainder = domain.subtract(available, granted)
+                kind = "transfer"
+            stamp_ts = self.cc.stamp_for_rds(self, request.ts, item)
+            entry = self.vm.allocate_entry(request.origin, item, granted,
+                                           kind, request.txn_id)
+            lsn = self.log_append(VmCreateRecord(
+                txn_id=owner,
+                actions=(SetFragment(item, remainder, ts=stamp_ts),),
+                messages=(entry,)))
+            self.apply_actions(
+                (SetFragment(item, remainder, ts=stamp_ts),), lsn)
+            self.fragments.stamp_if_newer(item, stamp_ts)
+            self.vm.register_created([entry])
+            self.requests_honored += 1
+        finally:
+            if freeze:
+                window = (self.config.read_freeze
+                          if self.config.read_freeze is not None
+                          else self.config.txn_timeout)
+                self.sim.after(window,
+                               lambda: self._release_freeze(owner),
+                               label=f"read-freeze:{owner}")
+            else:
+                self.locks.release_all(owner)
+                self.after_lock_release()
+
+    def _release_freeze(self, owner: str) -> None:
+        if not self.alive:
+            return
+        self.locks.release_all(owner)
+        self.after_lock_release()
+
+    # -- Vm acceptance (Rds transactions) ------------------------------------
+
+    def _accept_vm(self, entry, src: str) -> bool:
+        """Complete a Vm's lifespan: log [database-actions], absorb.
+
+        Returns False (leave pending) only when the fragment is locked
+        by an owner that is not an active transaction of this site —
+        i.e. a transient Rds lock; active transactions always absorb
+        into their own locked fragments (Section 5's refinement).
+        """
+        item = entry.item
+        if not self.fragments.knows(item):
+            return False
+        domain = self.fragments.domain(item)
+        new_value = domain.combine(self.fragments.value(item), entry.amount)
+        holder = self.locks.holder(item)
+        if holder is None:
+            ts = self.clock.next()
+            lsn = self.log_append(VmAcceptRecord(
+                src=src, channel_seq=entry.channel_seq,
+                actions=(SetFragment(item, new_value, ts=ts),),
+                txn_id=entry.txn_id))
+            self.apply_actions((SetFragment(item, new_value, ts=ts),), lsn)
+            return True
+        txn = self.active.get(holder)
+        if txn is None:
+            return False
+        lsn = self.log_append(VmAcceptRecord(
+            src=src, channel_seq=entry.channel_seq,
+            actions=(SetFragment(item, new_value, ts=txn.ts),),
+            txn_id=entry.txn_id))
+        self.apply_actions((SetFragment(item, new_value, ts=txn.ts),), lsn)
+        txn.on_vm_absorbed(entry, src)
+        return True
+
+    # -- failure injection -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: all volatile state vanishes; stable storage stays.
+
+        In-flight transactions silently disappear (their clients learn
+        nothing — exactly the scenario remote requesters' timeouts are
+        for). The stale pre-crash VmManager object is retained until
+        recovery so the god's-eye auditor can still read channel state.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crash_count += 1
+        self.vm.stop()
+        for txn in list(self.active.values()):
+            txn._timer.cancel()
+        self.active.clear()
+        self.locks.clear()
+        self.fragments.reset_timestamps()
+        self.clock.reset()
+
+    def recover(self) -> "RecoveryReport":
+        """Independent recovery (Section 7): local log only."""
+        from repro.core.recovery import recover_site
+        report = recover_site(self)
+        self.alive = True
+        self.vm.start()
+        return report

@@ -1,0 +1,189 @@
+"""The DvPSystem façade: build sites, register partitioned items, run.
+
+This is the library's main entry point::
+
+    from repro.core import DvPSystem, SystemConfig, CounterDomain
+    from repro.core import TransactionSpec, DecrementOp
+
+    system = DvPSystem(SystemConfig(sites=["W", "X", "Y", "Z"]))
+    system.add_item("flightA", CounterDomain(), split={"W": 25, "X": 25,
+                                                       "Y": 25, "Z": 25})
+    system.submit("W", TransactionSpec(ops=(DecrementOp("flightA", 3),)))
+    system.run_for(100)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.cc import make_cc
+from repro.core.domain import Domain
+from repro.core.invariants import AuditReport, ConservationAuditor
+from repro.core.policies import make_policy
+from repro.core.recovery import RecoveryReport
+from repro.core.site import DvPSite, SiteConfig
+from repro.core.transactions import Transaction, TransactionSpec, TxnResult
+from repro.net.link import LinkConfig
+from repro.net.network import Network
+from repro.net.sync import SynchronousNetwork
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to build a DvP system."""
+
+    sites: list[str] = field(default_factory=lambda: ["W", "X", "Y", "Z"])
+    seed: int = 0
+    cc: str = "conc1"
+    policy: str = "ask-all"
+    policy_kwargs: dict = field(default_factory=dict)
+    txn_timeout: float = 30.0
+    retransmit_period: float = 5.0
+    checkpoint_interval: int = 0
+    request_retries: int = 0
+    read_freeze: float | None = None
+    vm_window: int | None = None
+    link: LinkConfig = field(default_factory=LinkConfig)
+    #: Conc2 requires the order-synchronous network; None = follow cc.
+    synchronous: bool | None = None
+    sync_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(set(self.sites)) != len(self.sites):
+            raise ValueError("site names must be unique")
+        if not self.sites:
+            raise ValueError("at least one site required")
+
+
+class DvPSystem:
+    """A complete data-value-partitioned distributed database."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+        self.sim = Simulator(self.config.seed)
+        use_sync = (self.config.synchronous
+                    if self.config.synchronous is not None
+                    else self.config.cc == "conc2")
+        if use_sync:
+            self.network: Network = SynchronousNetwork(
+                self.sim, delay=self.config.sync_delay)
+        else:
+            self.network = Network(self.sim, self.config.link)
+        self.cc = make_cc(self.config.cc)
+        self.policy = make_policy(self.config.policy,
+                                  **self.config.policy_kwargs)
+        self.auditor = ConservationAuditor(self)
+        self.results: list[TxnResult] = []
+        self._result_hooks: list[Callable[[TxnResult], None]] = []
+        site_config = SiteConfig(
+            txn_timeout=self.config.txn_timeout,
+            retransmit_period=self.config.retransmit_period,
+            checkpoint_interval=self.config.checkpoint_interval,
+            request_retries=self.config.request_retries,
+            read_freeze=self.config.read_freeze,
+            vm_window=self.config.vm_window)
+        self.sites: dict[str, DvPSite] = {}
+        for rank, name in enumerate(self.config.sites):
+            self.sites[name] = DvPSite(
+                name, rank, self.sim, self.network, self.cc, self.policy,
+                site_config, on_result=self._record_result)
+
+    # -- item registration --------------------------------------------------
+
+    def add_item(self, item: str, domain: Domain,
+                 split: dict[str, Any] | None = None,
+                 total: Any = None) -> None:
+        """Register a partitioned item with its initial quotas.
+
+        Either give an explicit *split* (site -> initial fragment) or a
+        *total* to divide as evenly as the domain allows (counters
+        only). Sites absent from the split start with the zero value.
+        """
+        if split is None:
+            if total is None:
+                raise ValueError("provide either split or total")
+            split = self._even_split(domain, total)
+        for name in split:
+            if name not in self.sites:
+                raise KeyError(f"unknown site {name!r} in split")
+        for name, site in self.sites.items():
+            initial = split.get(name, domain.zero())
+            site.fragments.register(item, domain, initial)
+        self.auditor.register_item(item, domain,
+                                   domain.pi(split.values()))
+
+    def _even_split(self, domain: Domain, total: Any) -> dict[str, Any]:
+        if not isinstance(total, int):
+            raise ValueError("even split requires an integer total")
+        names = list(self.sites)
+        base, leftover = divmod(total, len(names))
+        return {name: base + (1 if index < leftover else 0)
+                for index, name in enumerate(names)}
+
+    # -- transactions -------------------------------------------------------
+
+    def submit(self, site: str, spec: TransactionSpec,
+               on_done: Callable[[TxnResult], None] | None = None
+               ) -> Transaction:
+        return self.sites[site].submit(spec, on_done)
+
+    def _record_result(self, result: TxnResult) -> None:
+        if result.committed and result.read_values:
+            # Sample, at the commit instant, how much of each read item
+            # was still in transmission: the read protocol's inherent
+            # blind spot (Section 3's N_M). The serializability checker
+            # uses this as the permitted under-report bound.
+            for item in result.read_values:
+                result.inflight_at_commit[item] = \
+                    self.auditor.live_vm_total(item)
+        self.results.append(result)
+        self.auditor.on_result(result)
+        for hook in self._result_hooks:
+            hook(result)
+
+    def add_result_hook(self, hook: Callable[[TxnResult], None]) -> None:
+        """Observe every transaction outcome (used by metrics)."""
+        self._result_hooks.append(hook)
+
+    # -- running ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run_until(self.sim.now + duration)
+
+    def run_until(self, time: float) -> None:
+        self.sim.run_until(time)
+
+    def drain(self, max_steps: int = 1_000_000) -> None:
+        """Run until no events remain (retransmit timers stop when all
+        Vm are acknowledged, so quiescent systems do drain)."""
+        self.sim.run(max_steps=max_steps)
+
+    # -- failure injection ----------------------------------------------------
+
+    def crash(self, site: str) -> None:
+        self.sites[site].crash()
+
+    def recover(self, site: str) -> RecoveryReport:
+        return self.sites[site].recover()
+
+    # -- observation ------------------------------------------------------------
+
+    def fragment_values(self, item: str) -> dict[str, Any]:
+        return {name: site.fragments.value(item)
+                for name, site in self.sites.items()
+                if site.fragments.knows(item)}
+
+    def audit(self) -> list[AuditReport]:
+        return self.auditor.check_all()
+
+    def committed(self) -> list[TxnResult]:
+        return [result for result in self.results if result.committed]
+
+    def aborted(self) -> list[TxnResult]:
+        return [result for result in self.results if not result.committed]

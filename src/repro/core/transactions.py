@@ -1,0 +1,452 @@
+"""Transaction processing (Section 5).
+
+Every transaction executes at exactly one site, in the paper's two
+phases: *redistribution* (gather enough value locally; nothing changes
+value) then *local commit* (force one log record; apply; release). A
+timeout during redistribution aborts the transaction — and because
+nothing changed value before the commit record, an aborted transaction
+is just a redistribution (Rds) transaction: there are no rollbacks and
+no distributed cleanup, which is precisely what makes the protocol
+non-blocking.
+
+Operations are expressed with partitionable operators only;
+:class:`ReadFullOp` implements the expensive "read in the traditional
+sense" (drain every fragment and every Vm to the reading site).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.messages import READ_MODE, TRANSFER_MODE, DataRequest
+from repro.core.operators import BoundedDecrement, PartitionableOperator
+from repro.sim.timers import Timer
+from repro.storage.records import CommitRecord, SetFragment, VmEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.site import DvPSite
+
+
+class Outcome(enum.Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class _State(enum.Enum):
+    NEW = "new"
+    WAITING_LOCKS = "waiting-locks"
+    GATHERING = "gathering"
+    COMPUTING = "computing"
+    FINISHED = "finished"
+
+
+# -- operations --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IncrementOp:
+    """Add *amount* to *item* (cancel seats, deposit money, restock)."""
+
+    item: str
+    amount: Any
+
+
+@dataclass(frozen=True)
+class DecrementOp:
+    """Remove *amount* from *item* if possible (reserve, withdraw, sell)."""
+
+    item: str
+    amount: Any
+
+
+@dataclass(frozen=True)
+class TransferOp:
+    """Move *amount* from one item to another (change flight A -> B)."""
+
+    src_item: str
+    dst_item: str
+    amount: Any
+
+
+@dataclass(frozen=True)
+class ApplyOp:
+    """Apply an arbitrary partitionable operator to *item*."""
+
+    item: str
+    operator: PartitionableOperator
+
+
+@dataclass(frozen=True)
+class ReadFullOp:
+    """Read the item's full value N = Π(Π⁻¹(d)) — requires draining
+    every remote fragment (and all in-flight Vm) to this site."""
+
+    item: str
+
+
+@dataclass(frozen=True)
+class ReadLocalOp:
+    """Read only the local fragment (the site's own quota).
+
+    Free of network traffic. In ordinary DvP operation this is a lower
+    bound on the item's value; when an item has been consolidated to
+    this site (see repro.hybrid) the fragment IS the value, so this is
+    the cheap exact read centralized mode buys."""
+
+    item: str
+
+
+Op = (IncrementOp | DecrementOp | TransferOp | ApplyOp | ReadFullOp
+      | ReadLocalOp)
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """What a transaction does; ops execute in order at commit.
+
+    ``work`` models the local computation of Section 5 step 4 ("the
+    requisite computation is done"): virtual time spent holding the
+    locks between sufficiency and the commit record. It is what makes
+    lock contention measurable in the hot-spot experiments.
+    """
+
+    ops: tuple[Op, ...]
+    label: str = ""
+    work: float = 0.0
+
+    def __post_init__(self) -> None:
+        overlap = self.read_items() & self.update_items()
+        if overlap:
+            raise ValueError(
+                f"items {sorted(overlap)} are both read-full and updated; "
+                "split into two transactions")
+
+    def items(self) -> set[str]:
+        """A(t): every item the transaction accesses."""
+        return self.read_items() | self.update_items()
+
+    def read_items(self) -> set[str]:
+        return {op.item for op in self.ops if isinstance(op, ReadFullOp)}
+
+    def update_items(self) -> set[str]:
+        found: set[str] = set()
+        for op in self.ops:
+            if isinstance(op, (IncrementOp, DecrementOp, ApplyOp,
+                               ReadLocalOp)):
+                found.add(op.item)
+            elif isinstance(op, TransferOp):
+                found.add(op.src_item)
+                found.add(op.dst_item)
+        return found
+
+    def needs(self, domain_of) -> dict[str, Any]:
+        """Per-item value the local fragment must cover before commit."""
+        needed: dict[str, Any] = {}
+
+        def add(item: str, amount: Any) -> None:
+            domain = domain_of(item)
+            needed[item] = domain.combine(needed.get(item, domain.zero()),
+                                          amount)
+
+        for op in self.ops:
+            if isinstance(op, DecrementOp):
+                add(op.item, op.amount)
+            elif isinstance(op, TransferOp):
+                add(op.src_item, op.amount)
+            elif isinstance(op, ApplyOp):
+                try:
+                    sign, magnitude = op.operator.delta(domain_of(op.item))
+                except NotImplementedError:
+                    continue
+                if sign < 0:
+                    add(op.item, magnitude)
+        return needed
+
+
+@dataclass
+class TxnResult:
+    """Reported to the submitter's callback when the transaction ends."""
+
+    txn_id: str
+    label: str
+    outcome: Outcome
+    reason: str
+    site: str
+    submitted_at: float
+    finished_at: float
+    read_values: dict[str, Any] = field(default_factory=dict)
+    semantic_deltas: list[tuple[str, int, Any]] = field(default_factory=list)
+    requests_sent: int = 0
+    #: Value of each read item that was inside live Vm at the commit
+    #: instant (sampled by the system's god's-eye auditor). The paper's
+    #: read protocol can miss exactly this much: a committed read
+    #: returns Π(everything) minus what was still in transmission
+    #: (Section 3's N_M term) — see harness.serial for the check.
+    inflight_at_commit: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome is Outcome.COMMITTED
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.submitted_at
+
+
+class Transaction:
+    """Runtime state machine for one transaction at its home site."""
+
+    def __init__(self, site: "DvPSite", spec: TransactionSpec,
+                 on_done: Callable[[TxnResult], None] | None,
+                 timeout: float) -> None:
+        self.site = site
+        self.spec = spec
+        self.on_done = on_done
+        self.timeout = timeout
+        self.id = site.next_txn_id()
+        self.ts = site.clock.next()
+        self.state = _State.NEW
+        self.submitted_at = site.sim.now
+        self.requests_sent = 0
+        self._timer = Timer(site.sim, self._on_timeout,
+                            label=f"txn-timeout:{self.id}")
+        self._read_responders: dict[str, set[str]] = {
+            item: set() for item in spec.read_items()}
+        self._needs = spec.needs(site.fragments.domain)
+        self.result: TxnResult | None = None
+        # Section 5's variation: "the requests could be re-tried a few
+        # more times". The timeout budget is split into equal rounds.
+        self._rounds_left = site.config.request_retries
+        self._round_length = timeout / (site.config.request_retries + 1)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Step 1: obtain local locks atomically (per the CC scheme)."""
+        self._timer.start(self._round_length)
+        if self.site.cc.broadcast_at_init:
+            # Conc2: all requests broadcast together at initiation.
+            self._send_requests(estimate_without_locks=True)
+        items = self.spec.items()
+        if self.site.cc.waits_for_locks:
+            self.state = _State.WAITING_LOCKS
+            granted = self.site.locks.acquire_all_or_wait(
+                self.id, items, self._locks_granted)
+            if granted:
+                self._locks_granted()
+            return
+        if not self.site.cc.may_lock_local(self.site, self.ts, items):
+            self._abort("timestamp-refused")
+            return
+        if not self.site.locks.try_acquire_all(self.id, items):
+            self._abort("locked")
+            return
+        self.site.cc.on_lock_granted(self.site, self.ts, items)
+        self._locks_granted()
+
+    def _locks_granted(self) -> None:
+        if self.state is _State.FINISHED:
+            # Timed out while waiting in the lock queue; locks were
+            # granted after cancellation — give them straight back.
+            self.site.locks.release_all(self.id)
+            self.site.after_lock_release()
+            return
+        if self.site.cc.waits_for_locks:
+            self.site.cc.on_lock_granted(self.site, self.ts,
+                                         self.spec.items())
+        self.state = _State.GATHERING
+        if not self.site.cc.broadcast_at_init:
+            self._send_requests(estimate_without_locks=False)
+        self._try_commit()
+        if self.state is not _State.GATHERING:
+            return
+        # Still gathering: if there is a deficit but nobody was (or can
+        # be) asked, the transaction can never become sufficient — the
+        # pessimistic rule aborts it immediately rather than at timeout.
+        if self.requests_sent == 0 and not self.site.peers():
+            self._abort("insufficient-no-peers")
+
+    # -- redistribution phase -------------------------------------------------
+
+    def _send_requests(self, estimate_without_locks: bool) -> None:
+        """Step 2: request value for every inadequate item."""
+        peers = self.site.peers()
+        for item in sorted(self.spec.read_items()):
+            for peer in peers:
+                self.site.send_request(peer, DataRequest(
+                    txn_id=self.id, origin=self.site.name, item=item,
+                    mode=READ_MODE, need=None, ts=self.ts))
+                self.requests_sent += 1
+        for item, need in sorted(self._needs.items()):
+            domain = self.site.fragments.domain(item)
+            value = self.site.fragments.value(item)
+            deficit = domain.deficit(value, need)
+            if domain.is_zero(deficit):
+                continue
+            rng = self.site.sim.rng.stream(f"policy:{self.site.name}")
+            for peer, ask in self.site.policy.targets(
+                    self.site.name, peers, deficit, domain, rng):
+                self.site.send_request(peer, DataRequest(
+                    txn_id=self.id, origin=self.site.name, item=item,
+                    mode=TRANSFER_MODE, need=ask, ts=self.ts))
+                self.requests_sent += 1
+
+    def on_vm_absorbed(self, entry: VmEntry, src: str) -> None:
+        """A Vm was accepted into a fragment this transaction holds."""
+        if self.state is not _State.GATHERING:
+            return
+        if entry.kind == "read-drain" and entry.txn_id == self.id \
+                and entry.item in self._read_responders:
+            # Only drains answering THIS transaction's requests count: a
+            # stale drain addressed to an earlier (aborted) read is
+            # still absorbed as value, but proves nothing about the
+            # responder's CURRENT fragment.
+            self._read_responders[entry.item].add(src)
+        self._try_commit()
+
+    def recheck(self) -> None:
+        """Re-evaluate sufficiency (e.g. an outgoing Vm got acked)."""
+        if self.state is _State.GATHERING:
+            self._try_commit()
+
+    def _sufficient(self) -> bool:
+        for item, need in self._needs.items():
+            domain = self.site.fragments.domain(item)
+            if not domain.covers(self.site.fragments.value(item), need):
+                return False
+        peers = set(self.site.peers())
+        for item, responders in self._read_responders.items():
+            if not peers <= responders:
+                return False
+            # The reading site itself must owe nothing: an outstanding
+            # outgoing Vm is value missing from Π of what it can see.
+            if self.site.vm.has_outstanding(item):
+                return False
+        return True
+
+    # -- commit phase -----------------------------------------------------------
+
+    def _try_commit(self) -> None:
+        if self.state is not _State.GATHERING or not self._sufficient():
+            return
+        if self.spec.work > 0:
+            # Redistribution is complete; computation cannot time out
+            # (it is bounded local work), so the timer is disarmed.
+            self.state = _State.COMPUTING
+            self._timer.cancel()
+            self.site.sim.after(self.spec.work, self._commit,
+                                label=f"txn-work:{self.id}")
+            return
+        self._commit()
+
+    def _commit(self) -> None:
+        """Steps 4-7: compute, force the commit record, apply, release."""
+        if self.state not in (_State.GATHERING, _State.COMPUTING):
+            return
+        if not self.site.alive or self.id not in self.site.active:
+            # The site crashed while the computation was scheduled (and
+            # possibly recovered since); the transaction never reached
+            # its commit record, so it simply never happened.
+            return
+        working: dict[str, Any] = {}
+        read_values: dict[str, Any] = {}
+        deltas: list[tuple[str, int, Any]] = []
+
+        def current(item: str) -> Any:
+            if item not in working:
+                working[item] = self.site.fragments.value(item)
+            return working[item]
+
+        for op in self.spec.ops:
+            if isinstance(op, IncrementOp):
+                domain = self.site.fragments.domain(op.item)
+                working[op.item] = domain.combine(current(op.item), op.amount)
+                deltas.append((op.item, +1, op.amount))
+            elif isinstance(op, DecrementOp):
+                if not self._apply_decrement(op.item, op.amount, working,
+                                             current):
+                    return
+                deltas.append((op.item, -1, op.amount))
+            elif isinstance(op, TransferOp):
+                if not self._apply_decrement(op.src_item, op.amount, working,
+                                             current):
+                    return
+                domain = self.site.fragments.domain(op.dst_item)
+                working[op.dst_item] = domain.combine(current(op.dst_item),
+                                                      op.amount)
+                deltas.append((op.src_item, -1, op.amount))
+                deltas.append((op.dst_item, +1, op.amount))
+            elif isinstance(op, ApplyOp):
+                domain = self.site.fragments.domain(op.item)
+                application = op.operator.apply(domain, current(op.item))
+                if not application.effective:
+                    self._abort("ineffective-operator")
+                    return
+                working[op.item] = application.value
+                try:
+                    sign, magnitude = op.operator.delta(domain)
+                    deltas.append((op.item, sign, magnitude))
+                except NotImplementedError:
+                    pass
+            elif isinstance(op, (ReadFullOp, ReadLocalOp)):
+                read_values[op.item] = current(op.item)
+
+        changed = {item: value for item, value in working.items()
+                   if value != self.site.fragments.value(item)}
+        actions = tuple(SetFragment(item, value, ts=self.ts)
+                        for item, value in sorted(changed.items()))
+        if actions:
+            # Step 5: the forced commit record IS the commit point.
+            lsn = self.site.log_append(CommitRecord(self.id, actions))
+            # Step 6: make the changes and record that they were made.
+            self.site.apply_actions(actions, lsn)
+        self._finish(Outcome.COMMITTED, "ok", read_values, deltas)
+
+    def _apply_decrement(self, item: str, amount: Any,
+                         working: dict[str, Any], current) -> bool:
+        domain = self.site.fragments.domain(item)
+        application = BoundedDecrement(amount).apply(domain, current(item))
+        if not application.effective:
+            self._abort("ineffective-decrement")
+            return False
+        working[item] = application.value
+        return True
+
+    # -- abort paths -------------------------------------------------------------
+
+    def _on_timeout(self) -> None:
+        """Step 3's pessimism: a timeout aborts (after optional retries)."""
+        if self.state not in (_State.WAITING_LOCKS, _State.GATHERING,
+                              _State.NEW):
+            return
+        if self._rounds_left > 0 and self.state is _State.GATHERING:
+            self._rounds_left -= 1
+            self._send_requests(estimate_without_locks=False)
+            self._timer.start(self._round_length)
+            return
+        self._abort("timeout")
+
+    def _abort(self, reason: str) -> None:
+        self._finish(Outcome.ABORTED, reason, {}, [])
+
+    def _finish(self, outcome: Outcome, reason: str,
+                read_values: dict[str, Any],
+                deltas: list[tuple[str, int, Any]]) -> None:
+        if self.state is _State.FINISHED:
+            return
+        was_waiting = self.state is _State.WAITING_LOCKS
+        self.state = _State.FINISHED
+        self._timer.cancel()
+        if was_waiting:
+            self.site.locks.cancel_waiter(self.id)
+        self.site.locks.release_all(self.id)
+        self.result = TxnResult(
+            txn_id=self.id, label=self.spec.label, outcome=outcome,
+            reason=reason, site=self.site.name,
+            submitted_at=self.submitted_at, finished_at=self.site.sim.now,
+            read_values=read_values, semantic_deltas=deltas,
+            requests_sent=self.requests_sent)
+        self.site.transaction_finished(self)
+        if self.on_done is not None:
+            self.on_done(self.result)

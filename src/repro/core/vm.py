@@ -1,0 +1,282 @@
+"""The Virtual Message protocol (Section 4.2).
+
+A Vm *comes into existence* when the sender forces a log record
+``[database-actions, message-sequence]`` and *ceases to exist* when the
+receiver forces ``[database-actions]`` recording its acceptance. In
+between, any number of real messages may carry it; the channel machinery
+here (per-pair FIFO sequence numbers, cumulative acknowledgements —
+piggybacked and explicit — periodic retransmission, duplicate discard,
+in-order buffering) guarantees the value is never lost and never
+absorbed twice, whatever the links do.
+
+The manager is deliberately ignorant of transactions and locks: the
+owning site supplies an ``accept`` callback that either absorbs a Vm
+(forcing the accept record) or refuses it because the target fragment is
+locked by an unrelated transaction — in which case the Vm simply stays
+pending and is retried on the next poke or retransmission, exactly the
+paper's "if it is locked, the message can be ignored; it will eventually
+be sent again anyway".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.messages import VmAck, VmTransfer
+from repro.sim.timers import PeriodicTimer
+from repro.storage.records import VmEntry
+
+
+@dataclass
+class OutgoingChannel:
+    """Sender-side state of the FIFO channel to one destination."""
+
+    dst: str
+    next_seq: int = 1
+    cumulative_acked: int = 0
+    entries: dict[int, VmEntry] = field(default_factory=dict)
+    retransmissions: int = 0
+    highest_sent: int = 0
+
+    def allocate(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def unacked(self) -> list[VmEntry]:
+        return [entry for seq, entry in sorted(self.entries.items())
+                if seq > self.cumulative_acked]
+
+    def ack(self, cumulative: int) -> None:
+        if cumulative > self.cumulative_acked:
+            self.cumulative_acked = cumulative
+
+    def prune(self) -> None:
+        """Drop entries whose acceptance is confirmed (memory bound)."""
+        for seq in [s for s in self.entries if s <= self.cumulative_acked]:
+            del self.entries[seq]
+
+
+@dataclass
+class IncomingChannel:
+    """Receiver-side state of the FIFO channel from one source."""
+
+    src: str
+    cumulative_accepted: int = 0
+    pending: dict[int, VmEntry] = field(default_factory=dict)
+    duplicates_discarded: int = 0
+
+
+class VmManager:
+    """Per-site engine driving every virtual message's lifespan."""
+
+    def __init__(self, site: str, sim, send: Callable[[str, object], None],
+                 accept: Callable[[VmEntry, str], bool],
+                 clock_ts: Callable[[], int],
+                 retransmit_period: float = 5.0,
+                 window: int | None = None) -> None:
+        """*window* caps in-flight (sent-but-unacked) messages per
+        channel — the classic sliding window of the "common schemes
+        (e.g. 'window' protocols)" Section 4.2 leans on. None means
+        unbounded. Entries beyond the window stay live Vm (logged,
+        conserved) and transmit as acks open the window."""
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None)")
+        self.site = site
+        self.sim = sim
+        self.window = window
+        self._send = send
+        self._accept = accept
+        self._clock_ts = clock_ts
+        self.outgoing: dict[str, OutgoingChannel] = {}
+        self.incoming: dict[str, IncomingChannel] = {}
+        self.acks_sent = 0
+        self.accepts = 0
+        self._timer = PeriodicTimer(sim, retransmit_period,
+                                    self._retransmit_tick,
+                                    label=f"vm-retx:{site}")
+        # Accepting a Vm can complete a transaction, whose lock release
+        # pokes the channels again from inside the accept callback; the
+        # work queue below makes drain re-entrancy safe (a nested call
+        # only enqueues, the outer loop does the absorbing).
+        self._drain_queue: list[str] = []
+        self._draining = False
+        # Instrumentation for the delivery-latency experiment (E3):
+        # when each outgoing Vm was created / each incoming accepted.
+        self.created_times: dict[tuple[str, int], float] = {}
+        self.accept_times: dict[tuple[str, int], float] = {}
+
+    # -- channel access -----------------------------------------------------
+
+    def out_channel(self, dst: str) -> OutgoingChannel:
+        if dst not in self.outgoing:
+            self.outgoing[dst] = OutgoingChannel(dst)
+        return self.outgoing[dst]
+
+    def in_channel(self, src: str) -> IncomingChannel:
+        if src not in self.incoming:
+            self.incoming[src] = IncomingChannel(src)
+        return self.incoming[src]
+
+    # -- sender side ----------------------------------------------------------
+
+    def allocate_entry(self, dst: str, item: str, amount, kind: str,
+                       txn_id: str) -> VmEntry:
+        """Reserve the next channel sequence number for a new Vm.
+
+        The entry is not live until the caller logs it (the Vm exists
+        from the moment the create record hits stable storage) and then
+        calls :meth:`register_created`.
+        """
+        channel = self.out_channel(dst)
+        return VmEntry(dst=dst, item=item, amount=amount,
+                       channel_seq=channel.allocate(), kind=kind,
+                       txn_id=txn_id)
+
+    def register_created(self, entries: Iterator[VmEntry] | list[VmEntry],
+                         transmit: bool = True) -> None:
+        """Track logged entries as live and (optionally) transmit them."""
+        for entry in entries:
+            channel = self.out_channel(entry.dst)
+            channel.entries[entry.channel_seq] = entry
+            self.created_times.setdefault((entry.dst, entry.channel_seq),
+                                          self.sim.now)
+            if transmit and self._in_window(channel, entry.channel_seq):
+                self._transmit(entry)
+                channel.highest_sent = max(channel.highest_sent,
+                                           entry.channel_seq)
+        self._ensure_timer()
+
+    def _in_window(self, channel: OutgoingChannel, seq: int) -> bool:
+        if self.window is None:
+            return True
+        return seq <= channel.cumulative_acked + self.window
+
+    def has_outstanding(self, item: str) -> bool:
+        """Any live (unaccepted) outgoing Vm for *item*?
+
+        This is the guard on honoring read requests: a full read must
+        observe every fragment, so a site that still owes value
+        elsewhere cannot claim its fragment is the whole local story.
+        """
+        return any(entry.item == item
+                   for channel in self.outgoing.values()
+                   for entry in channel.unacked())
+
+    def unacked_count(self) -> int:
+        return sum(len(channel.unacked())
+                   for channel in self.outgoing.values())
+
+    def _transmit(self, entry: VmEntry) -> None:
+        piggyback = self.in_channel(entry.dst).cumulative_accepted
+        self._send(entry.dst, VmTransfer(src=self.site, entry=entry,
+                                         piggyback_ack=piggyback,
+                                         ts=self._clock_ts()))
+
+    def _retransmit_tick(self) -> None:
+        live = 0
+        for channel in self.outgoing.values():
+            for entry in channel.unacked():
+                if not self._in_window(channel, entry.channel_seq):
+                    live += 1  # still live, just outside the window
+                    continue
+                if entry.channel_seq <= channel.highest_sent:
+                    channel.retransmissions += 1
+                channel.highest_sent = max(channel.highest_sent,
+                                           entry.channel_seq)
+                live += 1
+                self._transmit(entry)
+        if live == 0:
+            self._timer.stop()
+
+    def _ensure_timer(self) -> None:
+        if self.unacked_count() > 0:
+            self._timer.start()
+
+    def start(self) -> None:
+        """(Re)arm retransmission after construction or recovery."""
+        self._ensure_timer()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    # -- receiver side --------------------------------------------------------
+
+    def on_transfer(self, transfer: VmTransfer) -> None:
+        """Handle a real message: ack bookkeeping, dedup, in-order accept."""
+        self.on_ack(VmAck(src=transfer.src,
+                          cumulative=transfer.piggyback_ack,
+                          ts=transfer.ts))
+        channel = self.in_channel(transfer.src)
+        seq = transfer.entry.channel_seq
+        if seq <= channel.cumulative_accepted:
+            # Duplicate (retransmission of something already absorbed):
+            # discard, but re-ack so the sender can stop retransmitting.
+            channel.duplicates_discarded += 1
+            self._send_ack(transfer.src)
+            return
+        channel.pending[seq] = transfer.entry
+        self.drain(transfer.src)
+
+    def drain(self, src: str) -> None:
+        """Absorb buffered messages strictly in sequence order."""
+        self._drain_queue.append(src)
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._drain_queue:
+                self._drain_one(self._drain_queue.pop(0))
+        finally:
+            self._draining = False
+
+    def _drain_one(self, src: str) -> None:
+        channel = self.in_channel(src)
+        progressed = False
+        while True:
+            next_seq = channel.cumulative_accepted + 1
+            entry = channel.pending.get(next_seq)
+            if entry is None:
+                break
+            # Claim the sequence number BEFORE the accept callback runs:
+            # acceptance may re-enter drain (commit -> release -> poke)
+            # and must never see this entry as pending again.
+            del channel.pending[next_seq]
+            channel.cumulative_accepted = next_seq
+            if not self._accept(entry, src):
+                # Target fragment locked by an unrelated transaction;
+                # put the message back (head-of-line wait).
+                channel.pending[next_seq] = entry
+                channel.cumulative_accepted = next_seq - 1
+                break
+            self.accepts += 1
+            self.accept_times[(src, next_seq)] = self.sim.now
+            progressed = True
+        if progressed:
+            self._send_ack(src)
+
+    def poke(self) -> None:
+        """Retry pending heads on every channel (called on lock release)."""
+        for src in list(self.incoming):
+            self.drain(src)
+
+    def on_ack(self, ack: VmAck) -> None:
+        if ack.src in self.outgoing or ack.cumulative > 0:
+            channel = self.out_channel(ack.src)
+            channel.ack(ack.cumulative)
+            # The window may have slid open: transmit newly admitted
+            # entries right away instead of waiting for the next tick.
+            if self.window is not None:
+                for seq in sorted(channel.entries):
+                    if seq > channel.highest_sent and \
+                            self._in_window(channel, seq):
+                        self._transmit(channel.entries[seq])
+                        channel.highest_sent = seq
+
+    def _send_ack(self, dst: str) -> None:
+        self.acks_sent += 1
+        self._send(dst, VmAck(src=self.site,
+                              cumulative=self.in_channel(dst)
+                              .cumulative_accepted,
+                              ts=self._clock_ts()))

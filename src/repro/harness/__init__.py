@@ -1,0 +1,11 @@
+"""Experiment harness: one module per experiment (E1..E10).
+
+Each experiment module exposes ``run(params=None) -> Table`` and a
+params dataclass with two presets: ``Params()`` (full, used to produce
+EXPERIMENTS.md) and ``Params.quick()`` (small, used by the pytest
+benchmarks so the whole suite stays fast).
+"""
+
+from repro.harness.runner import ScenarioResult, run_dvp_scenario
+
+__all__ = ["ScenarioResult", "run_dvp_scenario"]

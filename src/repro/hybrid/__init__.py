@@ -1,0 +1,23 @@
+"""Hybrid DvP / centralized operation (Section 8).
+
+    "To make the best of both approaches, it may be preferable to
+    design systems that can respond to different situations by
+    dynamically interchanging between a DvP scheme and some
+    traditional scheme."
+
+This package implements that suggestion: a per-item mode switch.
+Consolidating an item drains every fragment to one *home* site (a full
+read), after which the item operates like a traditional single-copy
+item — remote transactions are forwarded to the home, reads are local
+and exact there. Deconsolidating redistributes quotas back out (plain
+Rds shipments) and returns the item to DvP operation.
+
+The trade-off is exactly the paper's: centralized mode makes reads
+cheap and exact but reintroduces a single point of unavailability;
+DvP mode keeps every site autonomous but makes full reads expensive.
+Experiment E11 measures the crossover.
+"""
+
+from repro.hybrid.manager import HybridSystem, ItemMode
+
+__all__ = ["HybridSystem", "ItemMode"]

@@ -1,0 +1,279 @@
+"""The hybrid mode manager.
+
+Wraps a :class:`~repro.core.system.DvPSystem`. Every item starts in
+DvP mode. ``consolidate(item, home)`` runs a full-read transaction at
+*home*; when it commits, the entire value sits in home's fragment and
+the item flips to CENTRAL mode. From then on the manager routes
+transactions: submissions at the home run as ordinary local DvP
+transactions (the fragment IS the value); submissions elsewhere are
+forwarded to the home over the network and decided there (the origin
+applies its usual timeout, so the non-blocking bound survives — a
+partition just means forwarded transactions abort, like any traditional
+system). ``deconsolidate(item, split)`` ships quotas back out as Rds
+transactions and flips the item back to DVP mode.
+
+Mode metadata is manager-local (a client-side routing table), not
+replicated state: misrouted submissions degrade to ordinary DvP
+behaviour, never to inconsistency — the underlying protocol is mode
+oblivious.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.site import SiteDown
+from repro.core.system import DvPSystem
+from repro.core.transactions import (
+    Outcome,
+    ReadFullOp,
+    ReadLocalOp,
+    TransactionSpec,
+    TxnResult,
+)
+from repro.net.message import Envelope
+from repro.sim.timers import Timer
+from repro.storage.records import SetFragment, VmCreateRecord
+
+
+class ItemMode(enum.Enum):
+    DVP = "dvp"
+    CENTRAL = "central"
+
+
+@dataclass(frozen=True)
+class ForwardRequest:
+    """A transaction shipped to a centralized item's home site."""
+
+    forward_id: int
+    origin: str
+    spec: TransactionSpec
+
+
+@dataclass(frozen=True)
+class ForwardReply:
+    forward_id: int
+    outcome: Outcome
+    reason: str
+    read_values: tuple[tuple[str, Any], ...] = ()
+    semantic_deltas: tuple[tuple[str, int, Any], ...] = ()
+
+
+@dataclass
+class _PendingForward:
+    spec: TransactionSpec
+    origin: str
+    submitted_at: float
+    on_done: Callable[[TxnResult], None] | None
+    timer: Timer | None = None
+    finished: bool = False
+
+
+class HybridSystem:
+    """Mode-aware routing façade over a DvPSystem."""
+
+    def __init__(self, system: DvPSystem) -> None:
+        self.system = system
+        self.modes: dict[str, ItemMode] = {}
+        self.homes: dict[str, str] = {}
+        self.forwarded = 0
+        self._forward_ids = itertools.count(1)
+        self._pending: dict[int, _PendingForward] = {}
+        # Interpose on every site's delivery to catch Forward* payloads.
+        for name, site in system.sites.items():
+            system.network.replace_handler(
+                name, self._make_handler(name, site.deliver))
+
+    # -- mode inspection ------------------------------------------------------
+
+    def mode_of(self, item: str) -> ItemMode:
+        return self.modes.get(item, ItemMode.DVP)
+
+    def home_of(self, item: str) -> str | None:
+        return self.homes.get(item) \
+            if self.mode_of(item) is ItemMode.CENTRAL else None
+
+    # -- mode transitions -------------------------------------------------------
+
+    def consolidate(self, item: str, home: str,
+                    on_done: Callable[[TxnResult], None] | None = None
+                    ) -> None:
+        """Drain every fragment of *item* to *home*; flip to CENTRAL.
+
+        Implemented as a full-read transaction: if it commits, home's
+        fragment holds the entire value. An abort leaves the item in
+        DVP mode (and redistributed, harmlessly).
+        """
+
+        def done(result: TxnResult) -> None:
+            if result.committed:
+                self.modes[item] = ItemMode.CENTRAL
+                self.homes[item] = home
+            if on_done is not None:
+                on_done(result)
+
+        self.system.sites[home].submit(
+            TransactionSpec(ops=(ReadFullOp(item),),
+                            label=f"consolidate:{item}"), done)
+
+    def deconsolidate(self, item: str, split: dict[str, Any]) -> bool:
+        """Ship quotas back out from the home; flip to DVP.
+
+        *split* maps peer site -> amount; anything not shipped stays at
+        the home. Returns False (mode unchanged) if the item is not
+        centralized, the home fragment cannot cover the split, or the
+        item is locked right now.
+        """
+        if self.mode_of(item) is not ItemMode.CENTRAL:
+            return False
+        home = self.homes[item]
+        site = self.system.sites[home]
+        domain = site.fragments.domain(item)
+        total = domain.zero()
+        for amount in split.values():
+            total = domain.combine(total, amount)
+        if not site.locks.is_free(item):
+            return False
+        if not domain.covers(site.fragments.value(item), total):
+            return False
+        owner = f"deconsolidate:{item}"
+        if not site.locks.try_acquire_all(owner, {item}):
+            return False
+        try:
+            value = site.fragments.value(item)
+            remainder = domain.subtract(value, total)
+            ts = site.clock.next()
+            entries = tuple(
+                site.vm.allocate_entry(peer, item, amount, "transfer",
+                                       owner)
+                for peer, amount in sorted(split.items())
+                if not domain.is_zero(amount))
+            lsn = site.log_append(VmCreateRecord(
+                txn_id=owner,
+                actions=(SetFragment(item, remainder, ts=ts),),
+                messages=entries))
+            site.apply_actions((SetFragment(item, remainder, ts=ts),),
+                               lsn)
+            site.vm.register_created(list(entries))
+        finally:
+            site.locks.release_all(owner)
+            site.after_lock_release()
+        self.modes[item] = ItemMode.DVP
+        del self.homes[item]
+        return True
+
+    # -- routing ---------------------------------------------------------------
+
+    def submit(self, site: str, spec: TransactionSpec,
+               on_done: Callable[[TxnResult], None] | None = None) -> None:
+        """Submit, forwarding to the home when items are centralized.
+
+        All centralized items of one transaction must share a home (the
+        manager enforces this at consolidation time by routing, not by
+        distributed locking).
+        """
+        homes = {self.homes[item] for item in spec.items()
+                 if self.mode_of(item) is ItemMode.CENTRAL}
+        if len(homes) > 1:
+            raise ValueError(
+                f"spec touches centralized items with different homes: "
+                f"{sorted(homes)}")
+        target = homes.pop() if homes else site
+        if target == site:
+            self.system.submit(site, self._localize_reads(site, spec),
+                               on_done)
+            return
+        self._forward(site, target, spec, on_done)
+
+    def _localize_reads(self, site: str,
+                        spec: TransactionSpec) -> TransactionSpec:
+        """At an item's home the fragment IS the value: rewrite full
+        reads of centralized items into free local-fragment reads."""
+        rewritten = []
+        changed = False
+        for op in spec.ops:
+            if isinstance(op, ReadFullOp) and \
+                    self.mode_of(op.item) is ItemMode.CENTRAL and \
+                    self.homes.get(op.item) == site:
+                rewritten.append(ReadLocalOp(op.item))
+                changed = True
+            else:
+                rewritten.append(op)
+        if not changed:
+            return spec
+        return TransactionSpec(ops=tuple(rewritten), label=spec.label,
+                               work=spec.work)
+
+    def _forward(self, origin: str, home: str, spec: TransactionSpec,
+                 on_done: Callable[[TxnResult], None] | None) -> None:
+        self.forwarded += 1
+        forward_id = next(self._forward_ids)
+        pending = _PendingForward(spec, origin, self.system.sim.now,
+                                  on_done)
+        self._pending[forward_id] = pending
+        timeout = self.system.config.txn_timeout
+        timer = Timer(self.system.sim,
+                      lambda: self._forward_timeout(forward_id),
+                      label=f"forward-timeout:{forward_id}")
+        timer.start(timeout)
+        pending.timer = timer
+        self.system.network.send(origin, home,
+                                 ForwardRequest(forward_id, origin, spec))
+
+    def _forward_timeout(self, forward_id: int) -> None:
+        pending = self._pending.pop(forward_id, None)
+        if pending is None or pending.finished:
+            return
+        pending.finished = True
+        if pending.on_done is not None:
+            pending.on_done(TxnResult(
+                txn_id=f"fwd#{forward_id}", label=pending.spec.label,
+                outcome=Outcome.ABORTED, reason="forward-timeout",
+                site=pending.origin, submitted_at=pending.submitted_at,
+                finished_at=self.system.sim.now))
+
+    # -- message handling --------------------------------------------------------
+
+    def _make_handler(self, name: str, inner) -> Callable[[Envelope], None]:
+        def handler(envelope: Envelope) -> None:
+            payload = envelope.payload
+            if isinstance(payload, ForwardRequest):
+                self._on_forward_request(name, payload)
+            elif isinstance(payload, ForwardReply):
+                self._on_forward_reply(payload)
+            else:
+                inner(envelope)
+        return handler
+
+    def _on_forward_request(self, home: str,
+                            request: ForwardRequest) -> None:
+        def done(result: TxnResult) -> None:
+            self.system.network.send(home, request.origin, ForwardReply(
+                request.forward_id, result.outcome, result.reason,
+                tuple(result.read_values.items()),
+                tuple(result.semantic_deltas)))
+
+        try:
+            self.system.sites[home].submit(
+                self._localize_reads(home, request.spec), done)
+        except SiteDown:
+            pass  # origin's timeout handles it
+
+    def _on_forward_reply(self, reply: ForwardReply) -> None:
+        pending = self._pending.pop(reply.forward_id, None)
+        if pending is None or pending.finished:
+            return
+        pending.finished = True
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if pending.on_done is not None:
+            pending.on_done(TxnResult(
+                txn_id=f"fwd#{reply.forward_id}", label=pending.spec.label,
+                outcome=reply.outcome, reason=reply.reason,
+                site=pending.origin, submitted_at=pending.submitted_at,
+                finished_at=self.system.sim.now,
+                read_values=dict(reply.read_values),
+                semantic_deltas=list(reply.semantic_deltas)))

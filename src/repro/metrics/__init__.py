@@ -1,0 +1,7 @@
+"""Measurement: per-transaction records, summary statistics, tables."""
+
+from repro.metrics.collector import Collector
+from repro.metrics.stats import Summary, percentile, summarize
+from repro.metrics.tables import Table
+
+__all__ = ["Collector", "Summary", "Table", "percentile", "summarize"]

@@ -1,0 +1,76 @@
+"""Collects transaction outcomes across a run.
+
+Works for the DvP system and for every baseline: anything that produces
+:class:`~repro.core.transactions.TxnResult`-shaped objects (the
+baselines reuse that dataclass) can feed a collector.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.transactions import TxnResult
+from repro.metrics.stats import Summary, summarize
+
+
+@dataclass
+class Collector:
+    """Accumulates results; knows nothing about how they were produced."""
+
+    results: list[TxnResult] = field(default_factory=list)
+    submitted: int = 0
+
+    def on_submit(self) -> None:
+        self.submitted += 1
+
+    def on_result(self, result: TxnResult) -> None:
+        self.results.append(result)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def committed(self) -> list[TxnResult]:
+        return [result for result in self.results if result.committed]
+
+    @property
+    def aborted(self) -> list[TxnResult]:
+        return [result for result in self.results if not result.committed]
+
+    @property
+    def lost(self) -> int:
+        """Submitted but never reported back (vanished in a crash)."""
+        return max(0, self.submitted - len(self.results))
+
+    def commit_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return len(self.committed) / len(self.results)
+
+    def abort_reasons(self) -> Counter:
+        return Counter(result.reason for result in self.aborted)
+
+    def latency_summary(self, committed_only: bool = True) -> Summary:
+        pool = self.committed if committed_only else self.results
+        return summarize([result.latency for result in pool])
+
+    def max_latency(self) -> float:
+        """Worst-case decision time over ALL decided transactions —
+        commits and aborts alike. The non-blocking property (E1) is
+        exactly the claim that this is bounded by the timeout."""
+        if not self.results:
+            return 0.0
+        return max(result.latency for result in self.results)
+
+    def throughput(self, duration: float) -> float:
+        if duration <= 0:
+            return 0.0
+        return len(self.committed) / duration
+
+    def in_window(self, start: float, end: float) -> "Collector":
+        """Sub-collector of results that were *submitted* in [start, end)."""
+        window = Collector()
+        window.results = [result for result in self.results
+                          if start <= result.submitted_at < end]
+        window.submitted = len(window.results)
+        return window

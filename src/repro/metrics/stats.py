@@ -1,0 +1,57 @@
+"""Summary statistics over transaction latencies and counts.
+
+Kept dependency-free (no numpy) so the core library stays lightweight;
+the experiment harness is the only consumer that cares about speed and
+these sample sizes are small.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        return math.nan
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} out of range")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a latency sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def empty(cls) -> "Summary":
+        return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+
+
+def summarize(values: list[float]) -> Summary:
+    if not values:
+        return Summary.empty()
+    return Summary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        p99=percentile(values, 99),
+        maximum=max(values))

@@ -1,0 +1,24 @@
+"""Network substrate: failure-prone links, partitions, ordered broadcast.
+
+The fault model follows the paper exactly: links may lose, delay,
+duplicate, or reorder messages, and may fail outright; sites may crash;
+the network may partition into groups that cannot communicate. There is
+no Byzantine behaviour and no partition *detection* — sites only ever
+observe timeouts.
+"""
+
+from repro.net.link import Link, LinkConfig
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.net.partitions import PartitionSchedule, PartitionScheduler
+from repro.net.sync import SynchronousNetwork
+
+__all__ = [
+    "Envelope",
+    "Link",
+    "LinkConfig",
+    "Network",
+    "PartitionSchedule",
+    "PartitionScheduler",
+    "SynchronousNetwork",
+]

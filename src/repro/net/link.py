@@ -1,0 +1,79 @@
+"""Point-to-point links with configurable failure behaviour."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Behavioural parameters of a directed link.
+
+    Delay is ``base_delay`` plus a uniform jitter in
+    ``[0, jitter]``; jitter > 0 lets messages reorder. Loss and
+    duplication are i.i.d. per transmission — the paper's Vm machinery
+    must mask all of this.
+    """
+
+    base_delay: float = 1.0
+    jitter: float = 0.0
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("loss_probability must be within [0, 1]")
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be within [0, 1]")
+
+
+class Link:
+    """A directed link; decides each transmission's fate."""
+
+    def __init__(self, src: str, dst: str, config: LinkConfig,
+                 rng: random.Random) -> None:
+        self.src = src
+        self.dst = dst
+        self.config = config
+        self._rng = rng
+        self.up = True
+        self.transmissions = 0
+        self.losses = 0
+        self.duplicates = 0
+
+    def fail(self) -> None:
+        """Take the link down; messages sent while down vanish."""
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True
+
+    def draw_delay(self) -> float:
+        """Sample this transmission's latency."""
+        if self.config.jitter == 0:
+            return self.config.base_delay
+        return self.config.base_delay + self._rng.uniform(
+            0.0, self.config.jitter)
+
+    def should_drop(self) -> bool:
+        """Decide loss for one transmission (counts it either way)."""
+        self.transmissions += 1
+        if not self.up:
+            self.losses += 1
+            return True
+        if self._rng.random() < self.config.loss_probability:
+            self.losses += 1
+            return True
+        return False
+
+    def should_duplicate(self) -> bool:
+        """Decide whether this delivery is accompanied by a duplicate."""
+        if self._rng.random() < self.config.duplicate_probability:
+            self.duplicates += 1
+            return True
+        return False

@@ -1,0 +1,160 @@
+"""The network: site registry, routing, partitions, failure injection."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable
+
+from repro.net.link import Link, LinkConfig
+from repro.net.message import Envelope
+from repro.sim.kernel import Simulator
+
+Handler = Callable[[Envelope], None]
+
+
+class Network:
+    """Connects named sites with failure-prone point-to-point links.
+
+    Sites register a delivery handler. :meth:`send` consults the
+    partition map and the directed link, then either drops the message
+    silently (the paper's model: no failure notifications, ever) or
+    schedules delivery after the link's sampled delay.
+    """
+
+    def __init__(self, sim: Simulator,
+                 default_link: LinkConfig | None = None) -> None:
+        self.sim = sim
+        self.default_link = default_link or LinkConfig()
+        self._handlers: dict[str, Handler] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._groups: dict[str, int] = {}
+        self.sent_counts: Counter[str] = Counter()
+        self.delivered_counts: Counter[str] = Counter()
+        self.dropped_partition = 0
+        self.dropped_loss = 0
+
+    # -- topology ---------------------------------------------------------
+
+    @property
+    def sites(self) -> list[str]:
+        return list(self._handlers)
+
+    def register(self, name: str, handler: Handler) -> None:
+        """Attach a site; *handler* receives each delivered envelope."""
+        if name in self._handlers:
+            raise ValueError(f"site {name!r} already registered")
+        self._handlers[name] = handler
+        self._groups[name] = 0
+
+    def replace_handler(self, name: str, handler: Handler) -> None:
+        """Swap a site's delivery handler (used when a site restarts)."""
+        if name not in self._handlers:
+            raise KeyError(name)
+        self._handlers[name] = handler
+
+    def link(self, src: str, dst: str) -> Link:
+        """The directed link src->dst, created on first use."""
+        key = (src, dst)
+        if key not in self._links:
+            rng = self.sim.rng.stream(f"link:{src}->{dst}")
+            self._links[key] = Link(src, dst, self.default_link, rng)
+        return self._links[key]
+
+    def configure_link(self, src: str, dst: str, config: LinkConfig) -> None:
+        """Override one directed link's behaviour."""
+        rng = self.sim.rng.stream(f"link:{src}->{dst}")
+        self._links[(src, dst)] = Link(src, dst, config, rng)
+
+    def configure_all_links(self, config: LinkConfig) -> None:
+        """Set the default and reset every existing link to *config*."""
+        self.default_link = config
+        for (src, dst) in list(self._links):
+            self.configure_link(src, dst, config)
+
+    # -- partitions -------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network; sites in different groups cannot talk.
+
+        Unlisted sites land in an implicit final group together.
+        """
+        assignment: dict[str, int] = {}
+        group_id = 0
+        for group_id, group in enumerate(groups):
+            for name in group:
+                if name not in self._handlers:
+                    raise KeyError(f"unknown site {name!r}")
+                if name in assignment:
+                    raise ValueError(f"site {name!r} in two groups")
+                assignment[name] = group_id
+        leftover = group_id + 1
+        for name in self._handlers:
+            assignment.setdefault(name, leftover)
+        self._groups = assignment
+
+    def heal(self) -> None:
+        """Undo any partition; all sites reachable again."""
+        self._groups = {name: 0 for name in self._handlers}
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return self._groups.get(src) == self._groups.get(dst)
+
+    @property
+    def partitioned(self) -> bool:
+        return len(set(self._groups.values())) > 1
+
+    def group_of(self, name: str) -> int:
+        return self._groups[name]
+
+    # -- transport --------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Send *payload* from *src* to *dst*; may silently drop it."""
+        if dst not in self._handlers:
+            raise KeyError(f"unknown destination {dst!r}")
+        envelope = Envelope(src, dst, payload, sent_at=self.sim.now)
+        self.sent_counts[envelope.kind()] += 1
+        if not self.reachable(src, dst):
+            self.dropped_partition += 1
+            return
+        link = self.link(src, dst)
+        if link.should_drop():
+            self.dropped_loss += 1
+            return
+        self._schedule_delivery(envelope, link.draw_delay())
+        if link.should_duplicate():
+            duplicate = Envelope(src, dst, payload, sent_at=self.sim.now,
+                                 duplicated=True)
+            self._schedule_delivery(duplicate, link.draw_delay())
+
+    def broadcast(self, src: str, payload: Any,
+                  dsts: Iterable[str] | None = None) -> None:
+        """Send *payload* to every other site (or to *dsts*)."""
+        targets = list(dsts) if dsts is not None else [
+            name for name in self._handlers if name != src]
+        for dst in targets:
+            self.send(src, dst, payload)
+
+    def _schedule_delivery(self, envelope: Envelope, delay: float) -> None:
+        def deliver() -> None:
+            # Re-check reachability at delivery time: a partition that
+            # strikes while the message is in flight swallows it.
+            if not self.reachable(envelope.src, envelope.dst):
+                self.dropped_partition += 1
+                return
+            self.delivered_counts[envelope.kind()] += 1
+            self._handlers[envelope.dst](envelope)
+
+        self.sim.after(delay, deliver,
+                       label=f"deliver:{envelope.kind()}:"
+                             f"{envelope.src}->{envelope.dst}")
+
+    # -- metrics ----------------------------------------------------------
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.sent_counts.values())
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.delivered_counts.values())

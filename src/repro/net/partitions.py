@@ -1,0 +1,76 @@
+"""Scheduled partition failures.
+
+A :class:`PartitionSchedule` is a timeline of split/heal events; the
+:class:`PartitionScheduler` arms them on the simulator. Experiments E1,
+E2 and E5 drive their failure injection through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """One change of connectivity at a point in virtual time."""
+
+    time: float
+    groups: tuple[tuple[str, ...], ...] | None  # None means "heal"
+
+    @property
+    def heals(self) -> bool:
+        return self.groups is None
+
+
+@dataclass
+class PartitionSchedule:
+    """An ordered list of partition events."""
+
+    events: list[PartitionEvent] = field(default_factory=list)
+
+    def split_at(self, time: float,
+                 groups: list[list[str]]) -> "PartitionSchedule":
+        frozen = tuple(tuple(group) for group in groups)
+        self.events.append(PartitionEvent(time, frozen))
+        return self
+
+    def heal_at(self, time: float) -> "PartitionSchedule":
+        self.events.append(PartitionEvent(time, None))
+        return self
+
+    @classmethod
+    def window(cls, start: float, end: float,
+               groups: list[list[str]]) -> "PartitionSchedule":
+        """A single partition lasting from *start* to *end*."""
+        if end < start:
+            raise ValueError("partition must end after it starts")
+        return cls().split_at(start, groups).heal_at(end)
+
+
+class PartitionScheduler:
+    """Arms a schedule's events on the simulator."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 schedule: PartitionSchedule) -> None:
+        self.sim = sim
+        self.network = network
+        self.schedule = schedule
+        self.applied: list[PartitionEvent] = []
+
+    def install(self) -> None:
+        """Schedule every event; call once before running."""
+        for event in self.schedule.events:
+            self.sim.at(event.time, self._make_action(event),
+                        label=f"partition@{event.time}")
+
+    def _make_action(self, event: PartitionEvent):
+        def apply() -> None:
+            if event.heals:
+                self.network.heal()
+            else:
+                self.network.partition(list(event.groups or ()))
+            self.applied.append(event)
+        return apply

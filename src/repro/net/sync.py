@@ -1,0 +1,71 @@
+"""Order-synchronous network mode required by Conc2 (Section 6.2).
+
+The paper's two-phase-locking scheme is only sound when the network
+guarantees *message-order synchronicity*: if site k receives m_i (from
+s_i) before m_j (from s_j), then m_i was sent earlier in real time, with
+simultaneous sends tie-broken by a total order on sites — and broadcasts
+are atomic (no partial failure while sending).
+
+We realize those axioms with a constant network delay and a delivery
+priority derived from (send time, sender rank, send sequence): every
+receiver then observes all broadcasts in the same global order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.net.link import LinkConfig
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+class SynchronousNetwork(Network):
+    """A lossless, constant-delay network with totally ordered delivery."""
+
+    def __init__(self, sim: Simulator, delay: float = 1.0) -> None:
+        super().__init__(sim, LinkConfig(base_delay=delay, jitter=0.0))
+        self.delay = delay
+        self._site_rank: dict[str, int] = {}
+        self._send_seq = 0
+
+    def register(self, name: str, handler) -> None:
+        super().register(name, handler)
+        # Rank by registration order: the paper's "total order on sites".
+        self._site_rank[name] = len(self._site_rank)
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Constant-delay, loss-free, priority-ordered delivery."""
+        if dst not in self._handlers:
+            raise KeyError(f"unknown destination {dst!r}")
+        envelope = Envelope(src, dst, payload, sent_at=self.sim.now)
+        self.sent_counts[envelope.kind()] += 1
+        if not self.reachable(src, dst):
+            # Partitions are outside Conc2's assumptions, but the mode is
+            # still usable under them so E10 can demonstrate the unsoundness.
+            self.dropped_partition += 1
+            return
+        self._send_seq += 1
+        priority = self._site_rank[src]
+
+        def deliver() -> None:
+            if not self.reachable(envelope.src, envelope.dst):
+                self.dropped_partition += 1
+                return
+            self.delivered_counts[envelope.kind()] += 1
+            self._handlers[envelope.dst](envelope)
+
+        # Equal delay keeps send order and arrival order identical;
+        # priority breaks simultaneous sends by sender rank at EVERY
+        # receiver, which yields the common global order Conc2 needs.
+        self.sim.at(self.sim.now + self.delay, deliver, priority=priority,
+                    label=f"sync-deliver:{envelope.kind()}:{src}->{dst}")
+
+    def broadcast(self, src: str, payload: Any,
+                  dsts: Iterable[str] | None = None) -> None:
+        """Atomic broadcast: all sends happen at one instant, same rank."""
+        targets = list(dsts) if dsts is not None else [
+            name for name in self._handlers if name != src]
+        for dst in targets:
+            self.send(src, dst, payload)

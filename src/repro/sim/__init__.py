@@ -1,0 +1,14 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every component of the reproduction — sites, links, clients, failure
+injectors — runs on top of this kernel. Determinism matters because the
+paper's claims are about protocol behaviour under failures; a seeded,
+deterministic simulator turns each claim into a repeatable experiment.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.timers import Timer
+
+__all__ = ["Event", "EventQueue", "Simulator", "RandomStreams", "Timer"]

@@ -1,0 +1,67 @@
+"""Event objects and the pending-event queue.
+
+Events are ordered by ``(time, priority, seq)``. The monotonically
+increasing ``seq`` makes ordering total and stable: two events scheduled
+for the same instant fire in scheduling order, which keeps runs
+deterministic regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A pending callback, comparable by (time, priority, seq)."""
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, action: Callable[[], Any], priority: int = 0,
+             label: str = "") -> Event:
+        """Enqueue *action* to run at *time*; return a cancellable handle."""
+        event = Event(time, priority, self._seq, action, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None if drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,103 @@
+"""The simulation kernel: a virtual clock driving an event queue."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.random import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    The kernel owns the virtual clock and the pending-event queue.
+    Components schedule work with :meth:`at` (absolute time) or
+    :meth:`after` (relative delay); the run loops advance the clock to
+    each event's timestamp and invoke its callback.
+
+    A single integer *seed* fans out into independent named RNG streams
+    (see :class:`~repro.sim.random.RandomStreams`), so adding randomness
+    to one component never perturbs another component's draws.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self.rng = RandomStreams(seed)
+        self._trace: list[tuple[float, str]] | None = None
+        self._steps = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of events executed so far."""
+        return self._steps
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def enable_trace(self) -> None:
+        """Record (time, label) for every executed event; for debugging."""
+        self._trace = []
+
+    @property
+    def trace(self) -> list[tuple[float, str]]:
+        if self._trace is None:
+            raise SimulationError("tracing is not enabled")
+        return self._trace
+
+    def at(self, time: float, action: Callable[[], Any], priority: int = 0,
+           label: str = "") -> Event:
+        """Schedule *action* at absolute virtual *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}")
+        return self._queue.push(time, action, priority, label)
+
+    def after(self, delay: float, action: Callable[[], Any], priority: int = 0,
+              label: str = "") -> Event:
+        """Schedule *action* after a non-negative *delay*."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, action, priority, label)
+
+    def step(self) -> bool:
+        """Execute the next event; return False when the queue is drained."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._steps += 1
+        if self._trace is not None:
+            self._trace.append((event.time, event.label))
+        event.action()
+        return True
+
+    def run(self, max_steps: int | None = None) -> None:
+        """Run until the queue drains (or *max_steps* events)."""
+        remaining = max_steps
+        while self.step():
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    return
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamp <= *time*, then set clock there."""
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+        self._now = max(self._now, time)

@@ -1,0 +1,91 @@
+"""Restartable timeout handles built on kernel events.
+
+Transactions (Section 5 of the paper) arm a timeout when they send
+requests and abort when it fires; the Vm layer arms retransmission
+timers. Both need cancel/restart semantics, which raw events lack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class Timer:
+    """A one-shot timer that can be cancelled and re-armed."""
+
+    def __init__(self, sim: Simulator, action: Callable[[], Any],
+                 label: str = "timer") -> None:
+        self._sim = sim
+        self._action = action
+        self._label = label
+        self._event: Event | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire after *delay*."""
+        self.cancel()
+        self._event = self._sim.after(delay, self._fire, label=self._label)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._action()
+
+
+class PeriodicTimer:
+    """Fires *action* every *period* until stopped.
+
+    Used by the Vm retransmission loop: as long as a site has
+    unacknowledged virtual messages it periodically re-sends the real
+    messages that carry them.
+    """
+
+    def __init__(self, sim: Simulator, period: float,
+                 action: Callable[[], Any], label: str = "periodic") -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = sim
+        self.period = period
+        self._action = action
+        self._label = label
+        self._event: Event | None = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _schedule(self) -> None:
+        self._event = self._sim.after(self.period, self._tick,
+                                      label=self._label)
+
+    def _tick(self) -> None:
+        self._event = None
+        if not self._running:
+            return
+        self._action()
+        if self._running:
+            self._schedule()

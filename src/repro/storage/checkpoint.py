@@ -1,0 +1,28 @@
+"""Checkpoint policy.
+
+Section 7: "by using checkpointing mechanisms, the number of redo
+actions required can be reduced in the usual manner". The policy decides
+*when* to checkpoint; the site assembles the snapshot (fragments, live
+channel state) and appends a ``CheckpointRecord``. Recovery then scans
+only the suffix after the last checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CheckpointPolicy:
+    """Checkpoint every *interval_records* log appends (0 disables)."""
+
+    interval_records: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval_records < 0:
+            raise ValueError("interval_records must be non-negative")
+
+    def due(self, records_since_checkpoint: int) -> bool:
+        if self.interval_records == 0:
+            return False
+        return records_since_checkpoint >= self.interval_records

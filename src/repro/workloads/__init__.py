@@ -1,0 +1,15 @@
+"""Workload generators for the paper's motivating applications."""
+
+from repro.workloads.airline import AirlineWorkload
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.base import OpMix, WorkloadConfig, WorkloadDriver
+from repro.workloads.inventory import InventoryWorkload
+
+__all__ = [
+    "AirlineWorkload",
+    "BankingWorkload",
+    "InventoryWorkload",
+    "OpMix",
+    "WorkloadConfig",
+    "WorkloadDriver",
+]

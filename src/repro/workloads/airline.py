@@ -1,0 +1,61 @@
+"""The Section 3 airline reservation workload.
+
+Flights are counters of available seats; customers reserve seats
+(decrement), cancel (increment), change flights (transfer between two
+flight items) and agents occasionally need exact seat counts (full
+read).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadFullOp,
+    TransactionSpec,
+    TransferOp,
+)
+from repro.workloads.base import (
+    OpMix,
+    WorkloadConfig,
+    uniform_amount,
+    zipf_choice,
+)
+
+
+class AirlineWorkload:
+    """Generates reservation-system transactions over *flights*."""
+
+    def __init__(self, flights: list[str],
+                 config: WorkloadConfig | None = None) -> None:
+        if not flights:
+            raise ValueError("at least one flight required")
+        self.flights = flights
+        self.config = config or WorkloadConfig(
+            mix=OpMix(reserve=0.65, cancel=0.2, transfer=0.1, read=0.05))
+
+    def make_spec(self, rng: random.Random, site: str) -> TransactionSpec:
+        kind = rng.choices(
+            [name for name, _weight in self.config.mix.normalized()],
+            weights=[weight for _name, weight
+                     in self.config.mix.normalized()])[0]
+        flight = zipf_choice(rng, self.flights, self.config.zipf_skew)
+        seats = uniform_amount(rng, self.config)
+        if kind == "reserve":
+            ops = (DecrementOp(flight, seats),)
+        elif kind == "cancel":
+            ops = (IncrementOp(flight, seats),)
+        elif kind == "transfer" and len(self.flights) > 1:
+            other = zipf_choice(rng, [name for name in self.flights
+                                      if name != flight],
+                                self.config.zipf_skew)
+            ops = (TransferOp(flight, other, seats),)
+            kind = "change-flight"
+        elif kind == "read":
+            ops = (ReadFullOp(flight),)
+        else:
+            ops = (DecrementOp(flight, seats),)
+            kind = "reserve"
+        return TransactionSpec(ops=ops, label=kind, work=self.config.work)

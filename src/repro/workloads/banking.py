@@ -1,0 +1,64 @@
+"""Banking workload (the paper's irreversible-transaction example).
+
+Accounts are money amounts (integral cents). Deposits "without caring
+about the net balance" are the paper's canonical always-safe operation;
+withdrawals need funds gathered locally; audits read the exact balance.
+Withdrawals disburse cash — they are irreversible, which is why
+serializability (not post-hoc reconciliation) is required here.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadFullOp,
+    TransactionSpec,
+    TransferOp,
+)
+from repro.workloads.base import (
+    OpMix,
+    WorkloadConfig,
+    uniform_amount,
+    zipf_choice,
+)
+
+
+class BankingWorkload:
+    """Generates deposits / withdrawals / transfers / audits."""
+
+    def __init__(self, accounts: list[str],
+                 config: WorkloadConfig | None = None) -> None:
+        if not accounts:
+            raise ValueError("at least one account required")
+        self.accounts = accounts
+        self.config = config or WorkloadConfig(
+            mix=OpMix(reserve=0.45, cancel=0.4, transfer=0.1, read=0.05),
+            amount_low=100, amount_high=5000)  # cents
+
+    def make_spec(self, rng: random.Random, site: str) -> TransactionSpec:
+        kind = rng.choices(
+            [name for name, _weight in self.config.mix.normalized()],
+            weights=[weight for _name, weight
+                     in self.config.mix.normalized()])[0]
+        account = zipf_choice(rng, self.accounts, self.config.zipf_skew)
+        cents = uniform_amount(rng, self.config)
+        if kind == "reserve":
+            return TransactionSpec(ops=(DecrementOp(account, cents),),
+                                   label="withdraw", work=self.config.work)
+        if kind == "cancel":
+            return TransactionSpec(ops=(IncrementOp(account, cents),),
+                                   label="deposit", work=self.config.work)
+        if kind == "transfer" and len(self.accounts) > 1:
+            payee = zipf_choice(rng, [name for name in self.accounts
+                                      if name != account],
+                                self.config.zipf_skew)
+            return TransactionSpec(ops=(TransferOp(account, payee, cents),),
+                                   label="transfer", work=self.config.work)
+        if kind == "read":
+            return TransactionSpec(ops=(ReadFullOp(account),),
+                                   label="audit", work=self.config.work)
+        return TransactionSpec(ops=(IncrementOp(account, cents),),
+                               label="deposit", work=self.config.work)

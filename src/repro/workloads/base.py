@@ -1,0 +1,148 @@
+"""Workload driving: arrival processes, mixes, and the generic driver.
+
+A workload turns a random stream into :class:`TransactionSpec`s; the
+:class:`WorkloadDriver` schedules Poisson arrivals at every site and
+submits the specs through any system exposing
+``submit(site, spec, on_done)`` — the DvP system and all baselines do.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.core.transactions import TransactionSpec
+from repro.metrics.collector import Collector
+from repro.sim.kernel import Simulator
+
+
+class SubmitTarget(Protocol):
+    """Anything transactions can be submitted to."""
+
+    def submit(self, site: str, spec: TransactionSpec,
+               on_done: Callable | None = None) -> Any: ...
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Relative weights of the four operation families."""
+
+    reserve: float = 0.6   # decrement
+    cancel: float = 0.2    # increment
+    transfer: float = 0.0  # move between items
+    read: float = 0.0      # full read
+
+    def normalized(self) -> list[tuple[str, float]]:
+        pairs = [("reserve", self.reserve), ("cancel", self.cancel),
+                 ("transfer", self.transfer), ("read", self.read)]
+        total = sum(weight for _name, weight in pairs)
+        if total <= 0:
+            raise ValueError("op mix has no positive weights")
+        return [(name, weight / total) for name, weight in pairs]
+
+
+@dataclass
+class WorkloadConfig:
+    """Shared workload parameters."""
+
+    arrival_rate: float = 0.2     # transactions per unit time per site
+    duration: float = 200.0
+    amount_low: int = 1
+    amount_high: int = 4
+    mix: OpMix = field(default_factory=OpMix)
+    zipf_skew: float = 0.0        # 0 = uniform item choice
+    work: float = 0.0             # local computation per transaction
+    seed_stream: str = "workload"
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.amount_low < 1 or self.amount_high < self.amount_low:
+            raise ValueError("bad amount range")
+
+
+class SpecSource(Protocol):
+    """A workload: produces specs for arrivals at a site."""
+
+    def make_spec(self, rng: random.Random, site: str) -> TransactionSpec:
+        ...
+
+
+def zipf_choice(rng: random.Random, items: list[str], skew: float) -> str:
+    """Pick an item with Zipf(skew) weighting over the list order."""
+    if skew <= 0 or len(items) == 1:
+        return rng.choice(items)
+    weights = [1.0 / (rank ** skew) for rank in range(1, len(items) + 1)]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+class WorkloadDriver:
+    """Schedules Poisson arrivals and submits generated transactions."""
+
+    def __init__(self, sim: Simulator, target: SubmitTarget,
+                 sites: list[str], source: SpecSource,
+                 config: WorkloadConfig,
+                 collector: Collector | None = None) -> None:
+        self.sim = sim
+        self.target = target
+        self.sites = sites
+        self.source = source
+        self.config = config
+        self.collector = collector or Collector()
+        self._rng = sim.rng.stream(config.seed_stream)
+
+    def install(self, start: float = 0.0) -> int:
+        """Pre-schedule every arrival in [start, start+duration].
+
+        Returns the number of scheduled arrivals. Pre-scheduling (rather
+        than chained timers) keeps the arrival process identical across
+        systems compared on the same seed.
+        """
+        scheduled = 0
+        for site in self.sites:
+            time = start
+            while True:
+                time += self._next_gap()
+                if time >= start + self.config.duration:
+                    break
+                self.sim.at(time, self._make_arrival(site),
+                            label=f"arrival:{site}")
+                scheduled += 1
+        return scheduled
+
+    def _next_gap(self) -> float:
+        return self._rng.expovariate(self.config.arrival_rate)
+
+    def _make_arrival(self, site: str):
+        def arrive() -> None:
+            spec = self.source.make_spec(self._rng, site)
+            self.collector.on_submit()
+            try:
+                self.target.submit(site, spec, self.collector.on_result)
+            except Exception:
+                # Site down (or baseline refused the spec shape): the
+                # customer walked away; counted as lost.
+                pass
+        return arrive
+
+
+def uniform_amount(rng: random.Random, config: WorkloadConfig) -> int:
+    return rng.randint(config.amount_low, config.amount_high)
+
+
+def poisson_count(rng: random.Random, rate: float, duration: float) -> int:
+    """Sample a Poisson(rate*duration) count (inverse-CDF, small means)."""
+    mean = rate * duration
+    if mean > 700:
+        # Normal approximation far above any value used here.
+        return max(0, round(rng.gauss(mean, math.sqrt(mean))))
+    threshold = math.exp(-mean)
+    count, product = 0, rng.random()
+    while product > threshold:
+        product *= rng.random()
+        count += 1
+    return count

@@ -1,0 +1,56 @@
+"""Inventory / aggregate-field hot-spot workload (Section 8).
+
+One (or a few) "hot" quantity-on-hand counters absorb almost all
+updates — O'Neil's hot-spot scenario. Updates are small sells
+(decrement) and restocks (increment); skew concentrates traffic on the
+first items of the list.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadFullOp,
+    TransactionSpec,
+)
+from repro.workloads.base import (
+    OpMix,
+    WorkloadConfig,
+    uniform_amount,
+    zipf_choice,
+)
+
+
+class InventoryWorkload:
+    """Generates sell/restock/stock-check transactions over *items*."""
+
+    def __init__(self, items: list[str],
+                 config: WorkloadConfig | None = None) -> None:
+        if not items:
+            raise ValueError("at least one item required")
+        self.items = items
+        self.config = config or WorkloadConfig(
+            mix=OpMix(reserve=0.7, cancel=0.25, transfer=0.0, read=0.05),
+            zipf_skew=1.5, amount_low=1, amount_high=3)
+
+    def make_spec(self, rng: random.Random, site: str) -> TransactionSpec:
+        kind = rng.choices(
+            [name for name, _weight in self.config.mix.normalized()],
+            weights=[weight for _name, weight
+                     in self.config.mix.normalized()])[0]
+        item = zipf_choice(rng, self.items, self.config.zipf_skew)
+        units = uniform_amount(rng, self.config)
+        if kind == "reserve":
+            return TransactionSpec(ops=(DecrementOp(item, units),),
+                                   label="sell", work=self.config.work)
+        if kind == "cancel":
+            return TransactionSpec(ops=(IncrementOp(item, units),),
+                                   label="restock", work=self.config.work)
+        if kind == "read":
+            return TransactionSpec(ops=(ReadFullOp(item),),
+                                   label="stock-check", work=self.config.work)
+        return TransactionSpec(ops=(DecrementOp(item, units),),
+                               label="sell", work=self.config.work)

@@ -1,0 +1,162 @@
+"""Tests for the central-counter baseline (escrow and lock modes)."""
+
+import pytest
+
+from repro.baselines.common import BaselineConfig
+from repro.baselines.escrow import CentralCounterSystem
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadFullOp,
+    TransactionSpec,
+)
+from repro.net.link import LinkConfig
+
+
+def build(mode="escrow", timeout=20.0):
+    system = CentralCounterSystem(
+        ["A", "B", "C"], central="A", mode=mode, seed=5,
+        link=LinkConfig(base_delay=1.0),
+        config=BaselineConfig(txn_timeout=timeout, retry_period=3.0))
+    system.add_item("hot", 100)
+    return system
+
+
+def run_one(system, origin, spec, duration=60.0):
+    results = []
+    system.submit(origin, spec, results.append)
+    system.run_for(duration)
+    assert results
+    return results[0]
+
+
+class TestConstruction:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CentralCounterSystem(["A"], central="A", mode="weird")
+
+    def test_central_must_be_a_site(self):
+        with pytest.raises(ValueError):
+            CentralCounterSystem(["A"], central="Z")
+
+    def test_only_single_counter_ops(self):
+        system = build()
+        with pytest.raises(ValueError):
+            system.submit("A", TransactionSpec(
+                ops=(ReadFullOp("hot"),)))
+
+
+class TestEscrowMode:
+    def test_remote_decrement_commits(self):
+        system = build()
+        result = run_one(system, "B", TransactionSpec(
+            ops=(DecrementOp("hot", 10),), work=2.0))
+        assert result.committed
+        assert system.value("hot") == 90
+
+    def test_local_client_cheaper_than_remote(self):
+        system = build()
+        local = run_one(system, "A", TransactionSpec(
+            ops=(DecrementOp("hot", 1),), work=2.0))
+        remote = run_one(system, "B", TransactionSpec(
+            ops=(DecrementOp("hot", 1),), work=2.0))
+        assert local.latency < remote.latency
+
+    def test_concurrent_escrows_overlap(self):
+        system = build()
+        results = []
+        for origin in ("A", "B", "C"):
+            system.submit(origin, TransactionSpec(
+                ops=(DecrementOp("hot", 10),), work=5.0), results.append)
+        system.run_for(60.0)
+        assert len(results) == 3
+        assert all(result.committed for result in results)
+        # Overlapping: all done well before 3 serialized work periods.
+        assert max(result.latency for result in results) < 12.0
+        assert system.value("hot") == 70
+
+    def test_escrow_bounds_respected_under_concurrency(self):
+        # Two concurrent decrements of 60 against 100: the second must
+        # be refused even though the first has not committed yet.
+        system = build()
+        results = []
+        for origin in ("B", "C"):
+            system.submit(origin, TransactionSpec(
+                ops=(DecrementOp("hot", 60),), work=10.0), results.append)
+        system.run_for(120.0)
+        outcomes = sorted(result.committed for result in results)
+        assert outcomes == [False, True]
+        assert system.value("hot") == 40
+
+    def test_increments_always_granted(self):
+        system = build()
+        result = run_one(system, "C", TransactionSpec(
+            ops=(IncrementOp("hot", 25),)))
+        assert result.committed
+        assert system.value("hot") == 125
+
+    def test_timeout_when_central_unreachable(self):
+        system = build()
+        system.network.partition([["A"], ["B", "C"]])
+        result = run_one(system, "B", TransactionSpec(
+            ops=(DecrementOp("hot", 1),)))
+        assert not result.committed
+        assert result.reason == "timeout"
+
+    def test_late_grant_is_abandoned(self):
+        # The grant arrives after the client timed out: the escrow must
+        # be handed back, not leaked.
+        system = build(timeout=1.5)  # shorter than the 2-hop round trip
+        result = run_one(system, "B", TransactionSpec(
+            ops=(DecrementOp("hot", 10),)))
+        assert not result.committed
+        system.run_for(60.0)
+        item = system._items["hot"]
+        assert not item.journal  # no leaked escrow
+        assert system.value("hot") == 100
+
+
+class TestLockMode:
+    def test_serialized_by_exclusive_lock(self):
+        system = build(mode="lock")
+        results = []
+        for origin in ("A", "B", "C"):
+            system.submit(origin, TransactionSpec(
+                ops=(DecrementOp("hot", 10),), work=5.0), results.append)
+        system.run_for(120.0)
+        committed = [result for result in results if result.committed]
+        assert len(committed) == 3
+        # Fully serialized: the slowest took at least ~2 work periods.
+        assert max(result.latency for result in committed) >= 10.0
+
+    def test_queue_is_fifo(self):
+        system = build(mode="lock")
+        order = []
+        for origin in ("B", "C"):
+            system.submit(origin, TransactionSpec(
+                ops=(DecrementOp("hot", 1),), work=3.0),
+                lambda result: order.append(result.site))
+        system.run_for(60.0)
+        assert order == ["B", "C"]
+
+    def test_insufficient_refused_at_grant_time(self):
+        system = build(mode="lock")
+        result = run_one(system, "B", TransactionSpec(
+            ops=(DecrementOp("hot", 500),)))
+        assert not result.committed
+        assert result.reason == "insufficient"
+
+    def test_queued_client_timeout_releases_queue_slot(self):
+        system = build(mode="lock", timeout=4.0)
+        results = []
+        system.submit("B", TransactionSpec(
+            ops=(DecrementOp("hot", 1),), work=20.0), results.append)
+        system.submit("C", TransactionSpec(
+            ops=(DecrementOp("hot", 1),)), results.append)
+        system.run_for(120.0)
+        # C timed out in the queue; B eventually committed; the lock is
+        # free and nothing leaked.
+        assert {result.committed for result in results} == {True, False}
+        item = system._items["hot"]
+        assert item.locked_by is None
+        assert not item.wait_queue

@@ -1,0 +1,163 @@
+"""Tests for the two-phase-commit baseline — especially its blocking
+and dependent-recovery behaviours, which are the foil for E1/E5."""
+
+from repro.baselines.common import BaselineConfig
+from repro.baselines.twopc import TwoPCSystem
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadFullOp,
+    TransactionSpec,
+    TransferOp,
+)
+from repro.net.link import LinkConfig
+
+
+def build(sites=("A", "B", "C"), timeout=10.0, retry=2.0):
+    system = TwoPCSystem(list(sites), seed=5,
+                         link=LinkConfig(base_delay=1.0),
+                         config=BaselineConfig(txn_timeout=timeout,
+                                               retry_period=retry))
+    for site in sites:
+        system.add_item(f"acct_{site}", site, 100)
+    return system
+
+
+def run_one(system, origin, spec, duration=60.0):
+    results = []
+    system.submit(origin, spec, results.append)
+    system.run_for(duration)
+    assert results
+    return results[0]
+
+
+class TestCommitPaths:
+    def test_local_transaction_commits(self):
+        system = build()
+        result = run_one(system, "A", TransactionSpec(
+            ops=(DecrementOp("acct_A", 5),)))
+        assert result.committed
+        assert system.sites["A"].store.get("acct_A").value == 95
+
+    def test_cross_site_transfer_commits(self):
+        system = build()
+        result = run_one(system, "A", TransactionSpec(
+            ops=(TransferOp("acct_A", "acct_B", 10),)))
+        assert result.committed
+        assert system.sites["A"].store.get("acct_A").value == 90
+        assert system.sites["B"].store.get("acct_B").value == 110
+
+    def test_conservation_across_transfers(self):
+        system = build()
+        for pair in (("A", "B"), ("B", "C"), ("C", "A")):
+            run_one(system, pair[0], TransactionSpec(
+                ops=(TransferOp(f"acct_{pair[0]}", f"acct_{pair[1]}",
+                                7),)))
+        assert system.total_value() == 300
+
+    def test_insufficient_funds_vote_no(self):
+        system = build()
+        result = run_one(system, "A", TransactionSpec(
+            ops=(TransferOp("acct_A", "acct_B", 500),)))
+        assert not result.committed
+        assert result.reason == "vote-no"
+        # Nothing moved, no locks leaked.
+        assert system.total_value() == 300
+        assert system.sites["A"].store.get("acct_A").locked_by is None
+
+    def test_busy_participant_votes_no(self):
+        system = build()
+        system.sites["B"].store.get("acct_B").locked_by = "ghost"
+        result = run_one(system, "A", TransactionSpec(
+            ops=(TransferOp("acct_A", "acct_B", 5),)))
+        assert not result.committed
+
+    def test_read_op(self):
+        system = build()
+        result = run_one(system, "A", TransactionSpec(
+            ops=(ReadFullOp("acct_B"),)))
+        assert result.committed
+        assert result.read_values["acct_B"] == 100
+
+    def test_increment_op(self):
+        system = build()
+        result = run_one(system, "A", TransactionSpec(
+            ops=(IncrementOp("acct_B", 5),)))
+        assert result.committed
+        assert system.sites["B"].store.get("acct_B").value == 105
+
+
+class TestBlocking:
+    def prepare_and_cut(self):
+        """Set up a participant prepared on the wrong side of a cut."""
+        system = build()
+        results = []
+        system.submit("A", TransactionSpec(
+            ops=(TransferOp("acct_A", "acct_B", 10),)), results.append)
+        system.run_for(1.2)  # prepare delivered at B, vote in flight
+        system.network.partition([["A", "C"], ["B"]])
+        return system, results
+
+    def test_prepared_participant_blocks(self):
+        system, results = self.prepare_and_cut()
+        system.run_for(100.0)
+        blocked = system.currently_blocked()
+        assert blocked
+        site, txn_id, age = blocked[0]
+        assert site == "B"
+        assert age > 90.0
+        # The in-doubt item is untouchable.
+        assert system.sites["B"].store.get("acct_B").locked_by == txn_id
+
+    def test_coordinator_client_still_decides(self):
+        system, results = self.prepare_and_cut()
+        system.run_for(100.0)
+        assert results
+        assert results[0].reason == "timeout"
+
+    def test_heal_unblocks_with_retransmitted_decision(self):
+        system, _results = self.prepare_and_cut()
+        system.run_for(100.0)
+        system.network.heal()
+        system.run_for(30.0)
+        assert system.currently_blocked() == []
+        holds = [duration for site, _txn, duration in system.lock_holds
+                 if site == "B"]
+        assert holds and max(holds) > 90.0
+
+
+class TestRecovery:
+    def test_in_doubt_items_relocked_on_recovery(self):
+        system = build()
+        system.submit("A", TransactionSpec(
+            ops=(TransferOp("acct_A", "acct_B", 10),)))
+        system.run_for(1.2)
+        system.crash("B")
+        system.run_for(30.0)
+        report = system.recover("B")
+        assert report["in_doubt"] == 1
+        assert report["messages_needed"] >= 1
+        assert system.sites["B"].store.get("acct_B").locked_by is not None
+
+    def test_recovery_resolves_via_coordinator(self):
+        system = build()
+        system.submit("A", TransactionSpec(
+            ops=(TransferOp("acct_A", "acct_B", 10),)))
+        system.run_for(1.2)
+        system.crash("B")
+        system.run_for(30.0)
+        system.recover("B")
+        system.run_for(30.0)
+        assert system.currently_blocked() == []
+
+    def test_presumed_abort_for_undecided_coordinator(self):
+        system = build()
+        # A decision request for an unknown txn gets "abort".
+        from repro.baselines.twopc import DecisionRequest
+        site_a = system.sites["A"]
+        received = []
+        system.network.replace_handler("B", received.append)
+        site_a._on_decision_request(DecisionRequest("A#999", "B"))
+        system.run_for(5.0)
+        assert received
+        assert received[0].payload.commit is False

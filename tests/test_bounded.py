@@ -1,0 +1,119 @@
+"""Tests for the two-sided bounded quantity (free/used dual encoding)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.bounded import BoundedQuantity
+from repro.core.system import DvPSystem, SystemConfig
+from repro.net.link import LinkConfig
+
+
+def build(capacity=30, used_split=None, sites=("A", "B", "C"), seed=37):
+    system = DvPSystem(SystemConfig(
+        sites=list(sites), seed=seed, txn_timeout=10.0,
+        link=LinkConfig(base_delay=1.0)))
+    quantity = BoundedQuantity(system, "slots", capacity,
+                               used_split=used_split)
+    return system, quantity
+
+
+class TestConstruction:
+    def test_negative_capacity_rejected(self):
+        system = DvPSystem(SystemConfig(sites=["A"]))
+        with pytest.raises(ValueError):
+            BoundedQuantity(system, "q", -1)
+
+    def test_initial_usage_cannot_exceed_capacity(self):
+        system = DvPSystem(SystemConfig(sites=["A"]))
+        with pytest.raises(ValueError):
+            BoundedQuantity(system, "q", 5, used_split={"A": 6})
+
+    def test_free_pool_is_capacity_minus_used(self):
+        system, quantity = build(capacity=30, used_split={"A": 6})
+        total_free = sum(quantity.local_free(site)
+                         for site in ("A", "B", "C"))
+        assert total_free == 24
+        assert quantity.audit()
+
+
+class TestAcquireRelease:
+    def test_acquire_consumes_free(self):
+        system, quantity = build()
+        results = []
+        quantity.acquire("A", 4, results.append)
+        system.run_for(5.0)
+        assert results and results[0].committed
+        assert quantity.local_used("A") == 4
+        assert quantity.audit()
+
+    def test_acquire_beyond_capacity_aborts(self):
+        system, quantity = build(capacity=10)
+        results = []
+        quantity.acquire("A", 11, results.append)
+        system.run_for(60.0)
+        assert results and not results[0].committed
+        assert quantity.audit()
+
+    def test_release_requires_prior_acquire(self):
+        system, quantity = build()
+        results = []
+        quantity.release("A", 3, results.append)
+        system.run_for(60.0)
+        assert results and not results[0].committed  # nothing used yet
+        assert quantity.audit()
+
+    def test_acquire_then_release_round_trip(self):
+        system, quantity = build()
+        results = []
+        quantity.acquire("B", 7, results.append)
+        system.run_for(5.0)
+        quantity.release("B", 7, results.append)
+        system.run_for(5.0)
+        assert all(result.committed for result in results)
+        assert system.auditor.expected("slots.used") == 0
+        assert system.auditor.expected("slots.free") == 30
+
+    def test_acquire_gathers_free_capacity_remotely(self):
+        system, quantity = build(capacity=30)
+        results = []
+        quantity.acquire("A", 25, results.append)  # A holds only 10
+        system.run_for(30.0)
+        assert results and results[0].committed
+        assert quantity.audit()
+
+    def test_utilization_read(self):
+        system, quantity = build()
+        quantity.acquire("A", 4)
+        quantity.acquire("B", 6)
+        system.run_for(10.0)
+        results = []
+        quantity.utilization("C", results.append)
+        system.run_for(30.0)
+        assert results and results[0].committed
+        assert results[0].read_values["slots.used"] == 10
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=500),
+       script=st.lists(
+           st.tuples(st.sampled_from(["A", "B", "C"]),
+                     st.sampled_from(["acquire", "release"]),
+                     st.integers(min_value=1, max_value=12)),
+           min_size=1, max_size=15))
+def test_capacity_bound_never_violated(seed, script):
+    """Property: whatever interleaving of acquires and releases runs,
+    total usage stays within [0, capacity] and the pair conserves."""
+    system, quantity = build(capacity=20, seed=seed)
+    for index, (site, kind, amount) in enumerate(script):
+        def fire(s=site, k=kind, a=amount):
+            if k == "acquire":
+                quantity.acquire(s, a)
+            else:
+                quantity.release(s, a)
+        system.sim.at(index * 3.0 + 0.5, fire)
+    system.run_for(len(script) * 3.0 + 60.0)
+    system.run_for(200.0)
+    assert quantity.audit()
+    used = system.auditor.expected("slots.used")
+    assert 0 <= used <= 20

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults_to_quick(self):
+        args = build_parser().parse_args(["run", "E1"])
+        assert args.experiment == "E1"
+        assert not args.full
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.sites == 4
+        assert args.loss == 0.3
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E12" in out
+
+    def test_run_quick(self, capsys):
+        assert main(["run", "E5"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery independence" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_all_quick(self, capsys):
+        assert main(["run", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out and "E12:" in out
+
+    def test_chaos_audits_clean(self, capsys):
+        assert main(["chaos", "--seed", "2", "--duration", "80",
+                     "--loss", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "[OK]" in out
+        assert "max decision time" in out

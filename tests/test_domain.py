@@ -1,0 +1,162 @@
+"""Unit tests for the partitionable value domains (Γ, Π)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.domain import (
+    CounterDomain,
+    DomainError,
+    MoneyDomain,
+    TokenSetDomain,
+    check_partitionable,
+)
+
+
+class TestCounterDomain:
+    domain = CounterDomain()
+
+    def test_zero(self):
+        assert self.domain.zero() == 0
+        assert self.domain.is_zero(0)
+        assert not self.domain.is_zero(1)
+
+    def test_combine(self):
+        assert self.domain.combine(3, 4) == 7
+
+    def test_pi_folds(self):
+        assert self.domain.pi([1, 2, 3, 4]) == 10
+        assert self.domain.pi([]) == 0
+
+    def test_validate_accepts_non_negative_int(self):
+        assert self.domain.validate(0) == 0
+        assert self.domain.validate(100) == 100
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "x", True, None])
+    def test_validate_rejects(self, bad):
+        with pytest.raises(DomainError):
+            self.domain.validate(bad)
+
+    def test_split_grants_at_most_want(self):
+        assert self.domain.split(10, 4) == (4, 6)
+
+    def test_split_grants_at_most_available(self):
+        assert self.domain.split(3, 10) == (3, 0)
+
+    def test_split_conserves(self):
+        granted, remainder = self.domain.split(9, 5)
+        assert granted + remainder == 9
+
+    def test_covers(self):
+        assert self.domain.covers(5, 5)
+        assert self.domain.covers(6, 5)
+        assert not self.domain.covers(4, 5)
+
+    def test_deficit(self):
+        assert self.domain.deficit(3, 10) == 7
+        assert self.domain.deficit(10, 3) == 0
+
+    def test_subtract(self):
+        assert self.domain.subtract(10, 4) == 6
+
+    def test_subtract_underflow(self):
+        with pytest.raises(DomainError):
+            self.domain.subtract(3, 4)
+
+    def test_describe(self):
+        assert self.domain.describe(7) == "7"
+
+
+class TestMoneyDomain:
+    def test_inherits_counter_algebra(self):
+        domain = MoneyDomain()
+        assert domain.combine(100, 250) == 350
+
+    def test_describe_formats_currency(self):
+        assert MoneyDomain().describe(123456) == "$1,234.56"
+
+    def test_distinct_name(self):
+        assert MoneyDomain().name == "money"
+        assert CounterDomain().name == "counter"
+
+
+class TestTokenSetDomain:
+    domain = TokenSetDomain()
+
+    def test_zero_is_empty(self):
+        assert self.domain.zero() == Counter()
+        assert self.domain.is_zero(Counter())
+        assert self.domain.is_zero(Counter({"a": 0}))
+
+    def test_combine_is_multiset_union(self):
+        merged = self.domain.combine(Counter({"a": 1}), Counter({"a": 2,
+                                                                 "b": 1}))
+        assert merged == Counter({"a": 3, "b": 1})
+
+    def test_combine_does_not_mutate(self):
+        left = Counter({"a": 1})
+        self.domain.combine(left, Counter({"a": 5}))
+        assert left == Counter({"a": 1})
+
+    def test_validate_rejects_negative_multiplicity(self):
+        with pytest.raises(DomainError):
+            self.domain.validate(Counter({"a": -1}))
+
+    def test_validate_rejects_non_counter(self):
+        with pytest.raises(DomainError):
+            self.domain.validate({"a": 1})
+
+    def test_split_grants_present_tokens(self):
+        granted, remainder = self.domain.split(
+            Counter({"a": 2, "b": 1}), Counter({"a": 1, "c": 4}))
+        assert granted == Counter({"a": 1})
+        assert remainder == Counter({"a": 1, "b": 1})
+
+    def test_split_conserves(self):
+        value = Counter({"a": 3, "b": 2})
+        granted, remainder = self.domain.split(value, Counter({"a": 2}))
+        assert self.domain.combine(granted, remainder) == value
+
+    def test_covers(self):
+        assert self.domain.covers(Counter({"a": 2}), Counter({"a": 2}))
+        assert not self.domain.covers(Counter({"a": 1}), Counter({"a": 2}))
+        assert self.domain.covers(Counter({"a": 1}), Counter())
+
+    def test_deficit(self):
+        missing = self.domain.deficit(Counter({"a": 1}),
+                                      Counter({"a": 3, "b": 1}))
+        assert missing == Counter({"a": 2, "b": 1})
+
+    def test_subtract(self):
+        result = self.domain.subtract(Counter({"a": 3}), Counter({"a": 1}))
+        assert result == Counter({"a": 2})
+
+    def test_subtract_underflow(self):
+        with pytest.raises(DomainError):
+            self.domain.subtract(Counter({"a": 1}), Counter({"a": 2}))
+
+    def test_describe(self):
+        assert self.domain.describe(Counter()) == "{}"
+        assert self.domain.describe(Counter({"b": 2, "a": 1})) == \
+            "{a×1, b×2}"
+
+
+class TestCheckPartitionable:
+    def test_counter_groupings(self):
+        domain = CounterDomain()
+        fragments = [1, 2, 3, 4]
+        groupings = [
+            [[1], [2], [3], [4]],
+            [[1, 2], [3, 4]],
+            [[1, 2, 3, 4]],
+            [[1, 4], [2, 3]],
+        ]
+        assert check_partitionable(domain, fragments, groupings)
+
+    def test_token_groupings(self):
+        domain = TokenSetDomain()
+        fragments = [Counter({"a": 1}), Counter({"b": 2}),
+                     Counter({"a": 1, "b": 1})]
+        groupings = [[fragments[:2], fragments[2:]],
+                     [[fragment] for fragment in fragments]]
+        assert check_partitionable(domain, fragments, groupings)

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs to completion and tells its
+story (commits where the narrative promises commits, audits balanced).
+"""
+
+import importlib
+import io
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES = [
+    ("examples.quickstart", ["committed", "audit", "[OK]"]),
+    ("examples.airline_partition", ["balanced", "during the partition"]),
+    ("examples.banking_recovery", ["balanced to the cent",
+                                   "ONLY its local log"]),
+    ("examples.giftcard_tokens", ["balanced", "sold"]),
+    ("examples.inventory_hotspot", ["DvP fragments", "escrow"]),
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def examples_on_path():
+    sys.path.insert(0, ".")
+    yield
+    sys.path.remove(".")
+
+
+@pytest.mark.parametrize("module_name,expected", EXAMPLES)
+def test_example_runs(module_name, expected):
+    module = importlib.import_module(module_name)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    output = buffer.getvalue()
+    for needle in expected:
+        assert needle in output, f"{module_name}: missing {needle!r}"
+    assert "VIOLATION" not in output

@@ -1,0 +1,29 @@
+"""Smoke tests: every experiment module runs its quick preset and
+produces a well-formed table. (The benchmarks assert the claim shapes;
+these only guard importability and structural integrity, so the plain
+test suite catches breakage without paying full experiment cost.)"""
+
+import pytest
+
+from repro.harness import experiments
+from repro.metrics.tables import Table
+
+
+@pytest.mark.parametrize("experiment_id", experiments.all_ids())
+def test_quick_preset_produces_table(experiment_id):
+    module = experiments.get(experiment_id)
+    table = module.run(module.Params.quick())
+    assert isinstance(table, Table)
+    assert table.rows
+    assert table.columns
+    rendered = table.render()
+    assert table.title in rendered
+
+
+def test_registry_is_complete():
+    assert experiments.all_ids() == [f"E{n}" for n in range(1, 13)]
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        experiments.get("E99")

@@ -1,0 +1,95 @@
+"""Tests for the scenario runner used by the experiment harness."""
+
+from repro.core.domain import CounterDomain
+from repro.core.system import SystemConfig
+from repro.harness.runner import (
+    ScenarioResult,
+    counter_items,
+    run_dvp_scenario,
+)
+from repro.net.link import LinkConfig
+from repro.net.partitions import PartitionSchedule
+from repro.workloads.airline import AirlineWorkload
+from repro.workloads.base import OpMix, WorkloadConfig
+
+
+def make_inputs(**overrides):
+    sites = ["A", "B", "C", "D"]
+    system_config = SystemConfig(
+        sites=sites, seed=overrides.pop("seed", 1), txn_timeout=10.0,
+        link=LinkConfig(base_delay=1.0,
+                        loss_probability=overrides.pop("loss", 0.0)))
+    workload_config = WorkloadConfig(
+        arrival_rate=0.1, duration=overrides.pop("duration", 80.0),
+        mix=OpMix(reserve=0.6, cancel=0.4))
+    source = AirlineWorkload(["item"], workload_config)
+    return system_config, source, workload_config
+
+
+class TestRunScenario:
+    def test_basic_run_collects_and_audits(self):
+        system_config, source, workload_config = make_inputs()
+        result = run_dvp_scenario(
+            system_config, counter_items(["item"], 400), source,
+            workload_config)
+        assert isinstance(result, ScenarioResult)
+        assert result.conservation_ok
+        assert result.collector.results
+        assert 0.0 <= result.commit_rate <= 1.0
+        assert result.throughput >= 0.0
+
+    def test_partition_schedule_applied(self):
+        system_config, source, workload_config = make_inputs()
+        schedule = PartitionSchedule.window(
+            20.0, 60.0, [["A", "B"], ["C", "D"]])
+        result = run_dvp_scenario(
+            system_config, counter_items(["item"], 400), source,
+            workload_config, partition_schedule=schedule)
+        assert result.conservation_ok
+        assert result.system.network.dropped_partition >= 0
+
+    def test_crash_and_recovery_injection(self):
+        system_config, source, workload_config = make_inputs(loss=0.1)
+        result = run_dvp_scenario(
+            system_config, counter_items(["item"], 400), source,
+            workload_config,
+            crashes=[(25.0, "B")], recoveries=[(45.0, "B")])
+        assert result.conservation_ok
+        assert result.system.sites["B"].crash_count == 1
+        assert result.system.sites["B"].alive
+
+    def test_unrecovered_crash_is_healed_for_settling(self):
+        system_config, source, workload_config = make_inputs()
+        result = run_dvp_scenario(
+            system_config, counter_items(["item"], 400), source,
+            workload_config, crashes=[(25.0, "B")])
+        assert result.system.sites["B"].alive  # recovered for the audit
+        assert result.conservation_ok
+
+    def test_explicit_split_items(self):
+        system_config, source, workload_config = make_inputs()
+        result = run_dvp_scenario(
+            system_config,
+            {"item": (CounterDomain(), {"A": 400})},  # all value at A
+            source, workload_config)
+        assert result.conservation_ok
+
+    def test_deterministic(self):
+        def run():
+            system_config, source, workload_config = make_inputs(seed=9)
+            result = run_dvp_scenario(
+                system_config, counter_items(["item"], 400), source,
+                workload_config)
+            return [(r.txn_id, r.outcome) for r in
+                    result.collector.results]
+
+        assert run() == run()
+
+
+class TestCounterItems:
+    def test_shape(self):
+        items = counter_items(["a", "b"], 10)
+        assert set(items) == {"a", "b"}
+        domain, total = items["a"]
+        assert isinstance(domain, CounterDomain)
+        assert total == 10

@@ -1,0 +1,178 @@
+"""Tests for the hybrid DvP/centralized mode manager."""
+
+import pytest
+
+from repro.core.domain import CounterDomain
+from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadFullOp,
+    TransactionSpec,
+)
+from repro.hybrid import HybridSystem, ItemMode
+from repro.net.link import LinkConfig
+
+
+def build(timeout=12.0):
+    system = DvPSystem(SystemConfig(
+        sites=["A", "B", "C"], seed=21, txn_timeout=timeout,
+        link=LinkConfig(base_delay=1.0)))
+    system.add_item("x", CounterDomain(), total=90)
+    return system, HybridSystem(system)
+
+
+def consolidate(system, hybrid, item="x", home="A"):
+    results = []
+    hybrid.consolidate(item, home, results.append)
+    system.run_for(60.0)
+    assert results and results[0].committed
+    return results[0]
+
+
+class TestModes:
+    def test_items_start_in_dvp_mode(self):
+        _system, hybrid = build()
+        assert hybrid.mode_of("x") is ItemMode.DVP
+        assert hybrid.home_of("x") is None
+
+    def test_consolidate_flips_to_central(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        assert hybrid.mode_of("x") is ItemMode.CENTRAL
+        assert hybrid.home_of("x") == "A"
+        assert system.fragment_values("x") == {"A": 90, "B": 0, "C": 0}
+
+    def test_failed_consolidation_keeps_dvp(self):
+        system, hybrid = build()
+        system.network.partition([["A"], ["B", "C"]])
+        results = []
+        hybrid.consolidate("x", "A", results.append)
+        system.run_for(60.0)
+        assert results and not results[0].committed
+        assert hybrid.mode_of("x") is ItemMode.DVP
+
+    def test_deconsolidate_redistributes(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        assert hybrid.deconsolidate("x", {"B": 30, "C": 30})
+        system.run_for(60.0)
+        assert hybrid.mode_of("x") is ItemMode.DVP
+        assert system.fragment_values("x") == {"A": 30, "B": 30, "C": 30}
+        system.auditor.assert_ok()
+
+    def test_deconsolidate_requires_central_mode(self):
+        _system, hybrid = build()
+        assert not hybrid.deconsolidate("x", {"B": 1})
+
+    def test_deconsolidate_cannot_overdraw(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        assert not hybrid.deconsolidate("x", {"B": 500})
+        assert hybrid.mode_of("x") is ItemMode.CENTRAL
+
+
+class TestRouting:
+    def test_home_submissions_run_locally(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        results = []
+        hybrid.submit("A", TransactionSpec(
+            ops=(DecrementOp("x", 5),)), results.append)
+        system.run_for(5.0)
+        assert results and results[0].committed
+        assert results[0].latency == 0.0
+        assert hybrid.forwarded == 0
+
+    def test_remote_submissions_forwarded(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        results = []
+        hybrid.submit("B", TransactionSpec(
+            ops=(DecrementOp("x", 5),)), results.append)
+        system.run_for(20.0)
+        assert results and results[0].committed
+        assert hybrid.forwarded == 1
+        assert results[0].latency >= 2.0  # one round trip
+        assert system.fragment_values("x")["A"] == 85
+        system.auditor.assert_ok()
+
+    def test_reads_at_home_are_local_and_exact(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        results = []
+        hybrid.submit("A", TransactionSpec(
+            ops=(ReadFullOp("x"),)), results.append)
+        system.run_for(10.0)
+        assert results and results[0].committed
+        assert results[0].read_values["x"] == 90
+        assert results[0].latency == 0.0
+
+    def test_forwarded_read_returns_value(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        results = []
+        hybrid.submit("C", TransactionSpec(
+            ops=(ReadFullOp("x"),)), results.append)
+        system.run_for(20.0)
+        assert results and results[0].committed
+        assert results[0].read_values["x"] == 90
+
+    def test_dvp_items_route_normally(self):
+        system, hybrid = build()
+        results = []
+        hybrid.submit("B", TransactionSpec(
+            ops=(DecrementOp("x", 5),)), results.append)
+        system.run_for(10.0)
+        assert results and results[0].committed
+        assert hybrid.forwarded == 0
+
+    def test_partition_aborts_forwarded_transactions(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        system.network.partition([["A"], ["B", "C"]])
+        results = []
+        hybrid.submit("B", TransactionSpec(
+            ops=(DecrementOp("x", 5),)), results.append)
+        system.run_for(60.0)
+        assert results
+        assert not results[0].committed
+        assert results[0].reason == "forward-timeout"
+        # The bound still holds: centralized mode costs availability,
+        # never unboundedness.
+        assert results[0].latency <= system.config.txn_timeout + 1e-6
+
+    def test_mixed_homes_rejected(self):
+        system, hybrid = build()
+        system.add_item("y", CounterDomain(), total=30)
+        consolidate(system, hybrid, item="x", home="A")
+        consolidate(system, hybrid, item="y", home="B")
+        with pytest.raises(ValueError):
+            hybrid.submit("C", TransactionSpec(
+                ops=(DecrementOp("x", 1), DecrementOp("y", 1))))
+
+    def test_forwarded_deltas_feed_auditor_once(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        hybrid.submit("B", TransactionSpec(ops=(DecrementOp("x", 5),)))
+        system.run_for(20.0)
+        assert system.auditor.expected("x") == 85
+        system.auditor.assert_ok()
+
+
+class TestRoundTrip:
+    def test_full_cycle_conserves(self):
+        system, hybrid = build()
+        consolidate(system, hybrid)
+        hybrid.submit("B", TransactionSpec(ops=(DecrementOp("x", 10),)))
+        system.run_for(20.0)
+        assert hybrid.deconsolidate("x", {"B": 20, "C": 20})
+        system.run_for(60.0)
+        results = []
+        hybrid.submit("B", TransactionSpec(
+            ops=(DecrementOp("x", 15),)), results.append)
+        system.run_for(20.0)
+        assert results and results[0].committed
+        system.run_for(100.0)
+        system.auditor.assert_ok()
+        assert system.auditor.expected("x") == 65

@@ -1,0 +1,103 @@
+"""Unit tests for partitionable operators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.domain import CounterDomain, DomainError, TokenSetDomain
+from repro.core.operators import (
+    BoundedDecrement,
+    Increment,
+    SetToZero,
+    commute,
+)
+
+domain = CounterDomain()
+
+
+class TestIncrement:
+    def test_always_effective(self):
+        application = Increment(5).apply(domain, 0)
+        assert application.effective
+        assert application.value == 5
+
+    def test_delta(self):
+        assert Increment(5).delta(domain) == (+1, 5)
+
+    def test_validates_amount(self):
+        with pytest.raises(DomainError):
+            Increment(-1).apply(domain, 0)
+
+    def test_token_increment(self):
+        tokens = TokenSetDomain()
+        application = Increment(Counter({"a": 2})).apply(
+            tokens, Counter({"a": 1}))
+        assert application.value == Counter({"a": 3})
+
+
+class TestBoundedDecrement:
+    def test_effective_when_covered(self):
+        application = BoundedDecrement(3).apply(domain, 5)
+        assert application.effective
+        assert application.value == 2
+
+    def test_exact_drain(self):
+        application = BoundedDecrement(5).apply(domain, 5)
+        assert application.effective
+        assert application.value == 0
+
+    def test_ineffective_below_zero(self):
+        application = BoundedDecrement(6).apply(domain, 5)
+        assert not application.effective
+        assert application.value == 5  # unchanged: a no-operation
+
+    def test_delta(self):
+        assert BoundedDecrement(3).delta(domain) == (-1, 3)
+
+    def test_token_decrement_requires_exact_tokens(self):
+        tokens = TokenSetDomain()
+        application = BoundedDecrement(Counter({"a": 1})).apply(
+            tokens, Counter({"b": 5}))
+        assert not application.effective
+
+
+class TestSetToZero:
+    def test_drains_fragment(self):
+        application = SetToZero().apply(domain, 42)
+        assert application.effective
+        assert application.value == 0
+
+    def test_no_delta_defined(self):
+        with pytest.raises(NotImplementedError):
+            SetToZero().delta(domain)
+
+
+class TestCommutation:
+    def test_increments_commute(self):
+        assert commute(domain, Increment(3), Increment(4), 10)
+
+    def test_increment_and_effective_decrement_commute(self):
+        assert commute(domain, Increment(3), BoundedDecrement(2), 10)
+
+    def test_effective_decrements_commute(self):
+        assert commute(domain, BoundedDecrement(1), BoundedDecrement(2), 10)
+
+    def test_boundary_decrements_may_not_commute_on_one_fragment(self):
+        # g = -4 effective, then h = -3 ineffective (1 < 3) vs
+        # h = -3 effective, then g = -4 ineffective (2 < 4):
+        # results 1 vs 2. This is exactly why the paper requires
+        # *effective* application to SEPARATE portions, not the same
+        # fragment.
+        assert not commute(domain, BoundedDecrement(4),
+                           BoundedDecrement(3), 5)
+
+    def test_separate_fragments_always_commute(self):
+        # Applied to separate portions of the multiset, order cannot
+        # matter: each operator touches its own fragment.
+        fragments = [5, 5]
+        g, h = BoundedDecrement(4), BoundedDecrement(3)
+        one = [g.apply(domain, fragments[0]).value,
+               h.apply(domain, fragments[1]).value]
+        other = [g.apply(domain, fragments[0]).value,
+                 h.apply(domain, fragments[1]).value]
+        assert domain.pi(one) == domain.pi(other)

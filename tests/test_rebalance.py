@@ -1,0 +1,137 @@
+"""Tests for the proactive rebalancing daemon."""
+
+import pytest
+
+from repro.core.domain import CounterDomain
+from repro.core.rebalance import (
+    RebalanceConfig,
+    RebalanceDaemon,
+    install_rebalancing,
+)
+from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    TransactionSpec,
+)
+from repro.net.link import LinkConfig
+
+
+def build():
+    system = DvPSystem(SystemConfig(
+        sites=["A", "B", "C"], seed=17, txn_timeout=10.0,
+        link=LinkConfig(base_delay=1.0)))
+    system.add_item("x", CounterDomain(), split={"A": 10, "B": 10,
+                                                 "C": 10})
+    return system
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RebalanceConfig(period=0)
+        with pytest.raises(ValueError):
+            RebalanceConfig(high_watermark=0.5)
+
+
+class TestDaemon:
+    def test_targets_captured_at_start(self):
+        system = build()
+        daemon = RebalanceDaemon(system.sites["A"])
+        daemon.start()
+        assert daemon.targets == {"x": 10}
+        assert daemon.running
+        daemon.stop()
+        assert not daemon.running
+
+    def test_ships_surplus_above_watermark(self):
+        system = build()
+        daemon = RebalanceDaemon(system.sites["A"],
+                                 RebalanceConfig(period=5.0,
+                                                 high_watermark=2.0))
+        daemon.start()
+        # Pump A's fragment far above 2x its target of 10.
+        system.submit("A", TransactionSpec(ops=(IncrementOp("x", 40),)))
+        system.run_for(20.0)
+        assert daemon.shipments >= 1
+        assert system.sites["A"].fragments.value("x") <= 20
+        system.run_for(100.0)
+        system.auditor.assert_ok()
+
+    def test_no_shipment_below_watermark(self):
+        system = build()
+        daemon = RebalanceDaemon(system.sites["A"],
+                                 RebalanceConfig(period=5.0))
+        daemon.start()
+        system.run_for(50.0)
+        assert daemon.shipments == 0
+        assert system.sites["A"].fragments.value("x") == 10
+
+    def test_locked_item_skipped(self):
+        system = build()
+        daemon = RebalanceDaemon(system.sites["A"],
+                                 RebalanceConfig(period=5.0))
+        daemon.start()
+        system.submit("A", TransactionSpec(ops=(IncrementOp("x", 40),)))
+        system.sites["A"].locks.try_acquire_all("ghost", {"x"})
+        system.run_for(30.0)
+        assert daemon.shipments == 0
+
+    def test_round_robin_spreads_over_peers(self):
+        system = build()
+        daemon = RebalanceDaemon(system.sites["A"],
+                                 RebalanceConfig(period=2.0,
+                                                 high_watermark=1.5))
+        daemon.start()
+        destinations = set()
+        for _ in range(4):
+            system.submit("A", TransactionSpec(
+                ops=(IncrementOp("x", 30),)))
+            system.run_for(5.0)
+        for channel in system.sites["A"].vm.outgoing.values():
+            if channel.entries:
+                destinations.add(channel.dst)
+        assert len(destinations) >= 2
+        system.run_for(200.0)
+        system.auditor.assert_ok()
+
+    def test_dead_site_does_not_tick(self):
+        system = build()
+        daemon = RebalanceDaemon(system.sites["A"],
+                                 RebalanceConfig(period=2.0))
+        daemon.start()
+        system.submit("A", TransactionSpec(ops=(IncrementOp("x", 50),)))
+        system.run_for(0.5)
+        system.crash("A")
+        system.run_for(20.0)
+        assert daemon.shipments == 0
+
+
+class TestInstall:
+    def test_installs_everywhere(self):
+        system = build()
+        daemons = install_rebalancing(system,
+                                      RebalanceConfig(period=3.0))
+        assert set(daemons) == {"A", "B", "C"}
+        assert all(daemon.running for daemon in daemons.values())
+
+    def test_rebalanced_system_reduces_demand_aborts(self):
+        # A site that keeps receiving cancellations accumulates value;
+        # rebalancing spreads it so other sites' sales stop aborting.
+        system = build()
+        install_rebalancing(system, RebalanceConfig(period=4.0,
+                                                    high_watermark=1.2))
+        results = []
+        for step in range(12):
+            system.sim.at(step * 5.0 + 0.1, lambda:
+                          system.submit("A", TransactionSpec(
+                              ops=(IncrementOp("x", 12),))))
+            system.sim.at(step * 5.0 + 2.0, lambda:
+                          system.submit("B", TransactionSpec(
+                              ops=(DecrementOp("x", 15),)),
+                              results.append))
+        system.run_for(120.0)
+        system.run_for(200.0)
+        committed = sum(result.committed for result in results)
+        assert committed >= len(results) // 2
+        system.auditor.assert_ok()

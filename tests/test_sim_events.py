@@ -1,0 +1,169 @@
+"""Unit tests for the event queue and simulation kernel."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        events = [queue.push(5.0, lambda: None) for _ in range(10)]
+        popped = [queue.pop() for _ in range(10)]
+        assert popped == events
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        low = queue.push(1.0, lambda: None, priority=5)
+        high = queue.push(1.0, lambda: None, priority=1)
+        assert queue.pop() is high
+        assert queue.pop() is low
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.pop() is second
+        assert queue.pop() is None
+
+    def test_peek_time_ignores_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        assert queue.peek_time() == 1.0
+        first.cancel()
+        assert queue.peek_time() == 4.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_len_counts_entries(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert queue.pop() is None
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_after_advances_clock(self):
+        sim = Simulator()
+        times = []
+        sim.after(5.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.0]
+        assert sim.now == 5.0
+
+    def test_at_schedules_absolute(self):
+        sim = Simulator()
+        hits = []
+        sim.at(3.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [3.0]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        sim.after(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1.0, lambda: None)
+
+    def test_run_until_stops_at_time(self):
+        sim = Simulator()
+        hits = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.at(t, lambda t=t: hits.append(t))
+        sim.run_until(2.5)
+        assert hits == [1.0, 2.0]
+        assert sim.now == 2.5
+
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        hits = []
+        sim.at(2.0, lambda: hits.append("x"))
+        sim.run_until(2.0)
+        assert hits == ["x"]
+
+    def test_run_until_never_moves_clock_backwards(self):
+        sim = Simulator()
+        sim.after(10.0, lambda: None)
+        sim.run()
+        sim.run_until(5.0)
+        assert sim.now == 10.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        hits = []
+
+        def chain(depth: int) -> None:
+            hits.append(sim.now)
+            if depth:
+                sim.after(1.0, lambda: chain(depth - 1))
+
+        sim.after(1.0, lambda: chain(3))
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+    def test_max_steps_limits_run(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.at(float(t + 1), lambda: None)
+        sim.run(max_steps=4)
+        assert sim.steps == 4
+
+    def test_step_returns_false_when_drained(self):
+        assert Simulator().step() is False
+
+    def test_trace_records_labels(self):
+        sim = Simulator()
+        sim.enable_trace()
+        sim.after(1.0, lambda: None, label="hello")
+        sim.run()
+        assert sim.trace == [(1.0, "hello")]
+
+    def test_trace_requires_enable(self):
+        with pytest.raises(SimulationError):
+            _ = Simulator().trace
+
+    def test_pending_counts_queue(self):
+        sim = Simulator()
+        sim.after(1.0, lambda: None)
+        sim.after(2.0, lambda: None)
+        assert sim.pending == 2
+
+    def test_deterministic_given_seed(self):
+        def run(seed: int) -> list[float]:
+            sim = Simulator(seed)
+            draws = []
+            for index in range(5):
+                sim.after(sim.rng.stream("x").random() + index,
+                          lambda: draws.append(sim.now))
+            sim.run()
+            return draws
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

@@ -1,0 +1,57 @@
+"""Unit tests for named RNG streams."""
+
+from repro.sim.random import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_master_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit(self):
+        assert 0 <= derive_seed(123, "xyz") < 2 ** 64
+
+
+class TestRandomStreams:
+    def test_stream_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_streams_independent(self):
+        # Drawing from one stream must not perturb another: compare a
+        # run that interleaves draws with one that does not.
+        a1 = RandomStreams(5)
+        seq_interleaved = []
+        for _ in range(10):
+            a1.stream("noise").random()
+            seq_interleaved.append(a1.stream("signal").random())
+        a2 = RandomStreams(5)
+        seq_pure = [a2.stream("signal").random() for _ in range(10)]
+        assert seq_interleaved == seq_pure
+
+    def test_same_seed_same_draws(self):
+        one = RandomStreams(9).stream("s")
+        two = RandomStreams(9).stream("s")
+        assert [one.random() for _ in range(5)] == \
+            [two.random() for _ in range(5)]
+
+    def test_different_seed_different_draws(self):
+        one = RandomStreams(9).stream("s")
+        two = RandomStreams(10).stream("s")
+        assert [one.random() for _ in range(5)] != \
+            [two.random() for _ in range(5)]
+
+    def test_fork_is_independent_of_parent(self):
+        parent = RandomStreams(3)
+        child = parent.fork("child")
+        assert child.stream("s").random() != parent.stream("s").random()
+
+    def test_fork_deterministic(self):
+        a = RandomStreams(3).fork("c").stream("s").random()
+        b = RandomStreams(3).fork("c").stream("s").random()
+        assert a == b

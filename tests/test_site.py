@@ -1,0 +1,229 @@
+"""Unit tests for site-level behaviour: request honoring, Vm
+acceptance, checkpointing, read freezes, clock gossip."""
+
+import pytest
+
+from repro.core.domain import CounterDomain
+from repro.core.messages import READ_MODE, TRANSFER_MODE, DataRequest
+from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadFullOp,
+    TransactionSpec,
+)
+from repro.net.link import LinkConfig
+from repro.storage.records import CheckpointRecord, VmCreateRecord
+
+
+def build(**kwargs):
+    kwargs.setdefault("sites", ["A", "B", "C"])
+    kwargs.setdefault("txn_timeout", 10.0)
+    kwargs.setdefault("link", LinkConfig(base_delay=1.0))
+    system = DvPSystem(SystemConfig(seed=4, **kwargs))
+    system.add_item("x", CounterDomain(), total=90)
+    return system
+
+
+def fresh_ts(site) -> int:
+    return site.clock.next()
+
+
+class TestTransferHonoring:
+    def test_honors_and_creates_vm(self):
+        system = build()
+        site_b = system.sites["B"]
+        request = DataRequest(txn_id="A#1", origin="A", item="x",
+                              mode=TRANSFER_MODE, need=10,
+                              ts=fresh_ts(system.sites["A"]) + (1 << 40))
+        site_b.handle_request(request)
+        assert site_b.requests_honored == 1
+        assert site_b.fragments.value("x") == 20
+        assert site_b.vm.has_outstanding("x")
+        # The create record hit the log before anything moved.
+        records = [env.record for env in site_b.log.scan()]
+        assert any(isinstance(record, VmCreateRecord)
+                   for record in records)
+
+    def test_ignores_unknown_item(self):
+        system = build()
+        site_b = system.sites["B"]
+        site_b.handle_request(DataRequest("A#1", "A", "nope",
+                                          TRANSFER_MODE, 10, 1 << 40))
+        assert site_b.requests_ignored == 1
+
+    def test_ignores_when_locked(self):
+        system = build()
+        site_b = system.sites["B"]
+        site_b.locks.try_acquire_all("someone", {"x"})
+        site_b.handle_request(DataRequest("A#1", "A", "x",
+                                          TRANSFER_MODE, 10, 1 << 40))
+        assert site_b.requests_honored == 0
+        assert site_b.requests_ignored == 1
+
+    def test_ignores_stale_timestamp_and_gossips(self):
+        system = build()
+        site_b = system.sites["B"]
+        site_b.fragments.stamp("x", 1 << 50)
+        site_b.handle_request(DataRequest("A#1", "A", "x",
+                                          TRANSFER_MODE, 10, 5))
+        assert site_b.requests_ignored == 1
+        system.sim.run()
+        # The advisory bumped A's clock past the winning stamp.
+        assert system.sites["A"].clock.next() > (1 << 50)
+
+    def test_ignores_zero_grant(self):
+        system = build()
+        site_b = system.sites["B"]
+        site_b.fragments.write("x", 0, 0)
+        site_b.handle_request(DataRequest("A#1", "A", "x",
+                                          TRANSFER_MODE, 10, 1 << 40))
+        assert site_b.requests_ignored == 1
+
+    def test_lock_released_after_honor(self):
+        system = build()
+        site_b = system.sites["B"]
+        site_b.handle_request(DataRequest("A#1", "A", "x",
+                                          TRANSFER_MODE, 10, 1 << 40))
+        assert site_b.locks.is_free("x")
+
+    def test_fragment_stamped_with_requester_ts(self):
+        system = build()
+        site_b = system.sites["B"]
+        ts = 1 << 40
+        site_b.handle_request(DataRequest("A#1", "A", "x",
+                                          TRANSFER_MODE, 10, ts))
+        assert site_b.fragments.timestamp("x") == ts
+
+
+class TestReadHonoring:
+    def test_read_drains_full_fragment(self):
+        system = build()
+        site_b = system.sites["B"]
+        site_b.handle_request(DataRequest("A#1", "A", "x",
+                                          READ_MODE, None, 1 << 40))
+        assert site_b.fragments.value("x") == 0
+        assert site_b.requests_honored == 1
+
+    def test_read_refused_with_outstanding_vm(self):
+        system = build()
+        site_b = system.sites["B"]
+        # First create an outstanding Vm via a transfer honor.
+        site_b.handle_request(DataRequest("A#1", "A", "x",
+                                          TRANSFER_MODE, 10, 1 << 40))
+        assert site_b.vm.has_outstanding("x")
+        site_b.handle_request(DataRequest("A#2", "A", "x",
+                                          READ_MODE, None, 2 << 40))
+        assert site_b.requests_ignored == 1
+
+    def test_read_freeze_holds_lock(self):
+        system = build(read_freeze=8.0)
+        site_b = system.sites["B"]
+        site_b.handle_request(DataRequest("A#1", "A", "x",
+                                          READ_MODE, None, 1 << 40))
+        assert not site_b.locks.is_free("x")
+        system.sim.run_until(system.sim.now + 8.5)
+        assert site_b.locks.is_free("x")
+
+    def test_freeze_defers_vm_acceptance(self):
+        system = build(read_freeze=8.0)
+        site_b = system.sites["B"]
+        site_b.handle_request(DataRequest("A#1", "A", "x",
+                                          READ_MODE, None, 1 << 40))
+        # A Vm arriving for the frozen item stays pending...
+        entry = system.sites["C"].vm.allocate_entry("B", "x", 4,
+                                                    "transfer", "t")
+        system.sites["C"].vm.register_created([entry])
+        system.run_for(4.0)
+        assert site_b.fragments.value("x") == 0
+        # ...and is absorbed once the freeze lifts.
+        system.run_for(30.0)
+        assert site_b.fragments.value("x") == 4
+
+
+class TestVmAcceptance:
+    def test_unlocked_acceptance_increments_and_logs(self):
+        system = build()
+        entry = system.sites["A"].vm.allocate_entry("B", "x", 7,
+                                                    "transfer", "t")
+        system.sites["A"].vm.register_created([entry])
+        system.run_for(10.0)
+        # (No conservation audit here: the Vm was conjured out of thin
+        # air for the test, not carved from A's fragment.)
+        assert system.sites["B"].fragments.value("x") == 37
+        records = [env.record for env in system.sites["B"].log.scan()]
+        from repro.storage.records import VmAcceptRecord
+        assert any(isinstance(record, VmAcceptRecord)
+                   for record in records)
+
+    def test_acceptance_while_locked_by_rds_stays_pending(self):
+        system = build()
+        site_b = system.sites["B"]
+        site_b.locks.try_acquire_all("rds:frozen", {"x"})
+        entry = system.sites["A"].vm.allocate_entry("B", "x", 7,
+                                                    "transfer", "t")
+        system.sites["A"].vm.register_created([entry])
+        system.run_for(3.0)
+        assert site_b.fragments.value("x") == 30  # still pending
+        site_b.locks.release_all("rds:frozen")
+        site_b.after_lock_release()
+        assert site_b.fragments.value("x") == 37
+
+    def test_active_transaction_absorbs_vm(self):
+        system = build()
+        results = []
+        system.submit("A", TransactionSpec(ops=(DecrementOp("x", 60),)),
+                      results.append)
+        system.run_for(60.0)
+        assert results and results[0].committed
+        system.auditor.assert_ok()
+
+
+class TestCheckpointing:
+    def test_checkpoint_written_at_interval(self):
+        system = build(checkpoint_interval=3)
+        for _ in range(4):
+            system.submit("A", TransactionSpec(
+                ops=(IncrementOp("x", 1),)))
+        system.run_for(5.0)
+        records = [env.record for env in system.sites["A"].log.scan()]
+        assert any(isinstance(record, CheckpointRecord)
+                   for record in records)
+
+    def test_checkpoint_contains_fragment_snapshot(self):
+        system = build(checkpoint_interval=1)
+        system.submit("A", TransactionSpec(ops=(IncrementOp("x", 5),)))
+        system.run_for(5.0)
+        checkpoint = system.sites["A"].log.last_matching(
+            lambda record: isinstance(record, CheckpointRecord)).record
+        assert dict(checkpoint.fragments)["x"] == 35
+
+    def test_no_checkpoints_when_disabled(self):
+        system = build(checkpoint_interval=0)
+        for _ in range(10):
+            system.submit("A", TransactionSpec(
+                ops=(IncrementOp("x", 1),)))
+        system.run_for(5.0)
+        records = [env.record for env in system.sites["A"].log.scan()]
+        assert not any(isinstance(record, CheckpointRecord)
+                       for record in records)
+
+
+class TestDeliverDispatch:
+    def test_dead_site_hears_nothing(self):
+        system = build()
+        system.crash("B")
+        site_b = system.sites["B"]
+        before = site_b.requests_honored
+        system.sites["A"].send_request("B", DataRequest(
+            "A#1", "A", "x", TRANSFER_MODE, 10, 1 << 40))
+        system.run_for(5.0)
+        assert site_b.requests_honored == before
+
+    def test_clock_observes_request_ts(self):
+        system = build()
+        site_b = system.sites["B"]
+        system.sites["A"].send_request("B", DataRequest(
+            "A#1", "A", "x", TRANSFER_MODE, 10, (123 << 16)))
+        system.run_for(5.0)
+        assert site_b.clock.counter >= 123

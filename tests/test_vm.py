@@ -1,0 +1,238 @@
+"""Unit tests for the Virtual Message protocol engine.
+
+Two VmManagers are wired through a controllable fake transport so every
+failure mode (loss, duplication, reordering, refusal-to-accept) can be
+scripted deterministically.
+"""
+
+from repro.core.messages import VmAck, VmTransfer
+from repro.core.vm import VmManager
+from repro.sim.kernel import Simulator
+
+
+class Harness:
+    """Two sites, A and B, with scriptable delivery."""
+
+    def __init__(self, retransmit_period: float = 5.0) -> None:
+        self.sim = Simulator(1)
+        self.wire: list[tuple[str, str, object]] = []  # (src, dst, payload)
+        self.accepted: dict[str, list] = {"A": [], "B": []}
+        self.refuse: dict[str, bool] = {"A": False, "B": False}
+        self.managers: dict[str, VmManager] = {}
+        clock = {"t": 0}
+
+        def ts() -> int:
+            clock["t"] += 1
+            return clock["t"]
+
+        for name in ("A", "B"):
+            def send(dst, payload, src=name):
+                self.wire.append((src, dst, payload))
+
+            def accept(entry, src, me=name):
+                if self.refuse[me]:
+                    return False
+                self.accepted[me].append((src, entry))
+                return True
+
+            self.managers[name] = VmManager(
+                name, self.sim, send=send, accept=accept, clock_ts=ts,
+                retransmit_period=retransmit_period)
+
+    def flush(self, drop=None) -> int:
+        """Deliver queued wire messages (optionally dropping some)."""
+        drop = drop or (lambda src, dst, payload: False)
+        queued, self.wire = self.wire, []
+        delivered = 0
+        for src, dst, payload in queued:
+            if drop(src, dst, payload):
+                continue
+            delivered += 1
+            manager = self.managers[dst]
+            if isinstance(payload, VmTransfer):
+                manager.on_transfer(payload)
+            elif isinstance(payload, VmAck):
+                manager.on_ack(payload)
+        return delivered
+
+    def send_value(self, src: str, dst: str, item: str, amount: int,
+                   transmit: bool = True):
+        manager = self.managers[src]
+        entry = manager.allocate_entry(dst, item, amount, "transfer", "t")
+        manager.register_created([entry], transmit=transmit)
+        return entry
+
+
+class TestHappyPath:
+    def test_value_delivered_and_acked(self):
+        h = Harness()
+        h.send_value("A", "B", "x", 5)
+        h.flush()  # transfer A->B
+        assert [entry.amount for _src, entry in h.accepted["B"]] == [5]
+        h.flush()  # ack B->A
+        assert h.managers["A"].out_channel("B").cumulative_acked == 1
+        assert h.managers["A"].unacked_count() == 0
+
+    def test_sequence_numbers_increase_per_destination(self):
+        h = Harness()
+        first = h.send_value("A", "B", "x", 1)
+        second = h.send_value("A", "B", "x", 2)
+        assert (first.channel_seq, second.channel_seq) == (1, 2)
+
+    def test_channels_are_per_destination(self):
+        h = Harness()
+        to_b = h.send_value("A", "B", "x", 1)
+        # A third party would have its own channel; reuse B's manager as
+        # a stand-in destination name.
+        to_c = h.managers["A"].allocate_entry("C", "x", 1, "transfer", "t")
+        assert to_b.channel_seq == to_c.channel_seq == 1
+
+
+class TestLossAndRetransmission:
+    def test_lost_transfer_retransmitted_until_acked(self):
+        h = Harness(retransmit_period=5.0)
+        h.send_value("A", "B", "x", 5)
+        h.flush(drop=lambda s, d, p: isinstance(p, VmTransfer))  # lost
+        assert h.accepted["B"] == []
+        h.sim.run_until(5.0)  # retransmission timer fires
+        h.flush()
+        assert len(h.accepted["B"]) == 1
+        assert h.managers["A"].out_channel("B").retransmissions >= 1
+
+    def test_lost_ack_causes_duplicate_which_is_discarded(self):
+        h = Harness(retransmit_period=5.0)
+        h.send_value("A", "B", "x", 5)
+        h.flush(drop=lambda s, d, p: isinstance(p, VmAck))  # ack lost
+        assert len(h.accepted["B"]) == 1
+        h.sim.run_until(5.0)
+        h.flush(drop=lambda s, d, p: isinstance(p, VmAck))
+        # Duplicate discarded: still exactly one acceptance.
+        assert len(h.accepted["B"]) == 1
+        assert h.managers["B"].in_channel("A").duplicates_discarded == 1
+        h.sim.run_until(10.0)
+        h.flush()  # this time the (re-)ack gets through
+        assert h.managers["A"].unacked_count() == 0
+
+    def test_timer_stops_when_all_acked(self):
+        h = Harness(retransmit_period=5.0)
+        h.send_value("A", "B", "x", 5)
+        h.flush()
+        h.flush()
+        h.sim.run_until(30.0)
+        assert h.managers["A"].out_channel("B").retransmissions == 0
+
+
+class TestOrdering:
+    def test_out_of_order_buffered_until_gap_fills(self):
+        h = Harness()
+        first = h.send_value("A", "B", "x", 1, transmit=False)
+        second = h.send_value("A", "B", "x", 2, transmit=False)
+        manager = h.managers["A"]
+        # Deliver second first: B must buffer it.
+        h.managers["B"].on_transfer(VmTransfer("A", second, 0, 1))
+        assert h.accepted["B"] == []
+        h.managers["B"].on_transfer(VmTransfer("A", first, 0, 2))
+        assert [entry.amount for _s, entry in h.accepted["B"]] == [1, 2]
+
+    def test_cumulative_ack_covers_all_accepted(self):
+        h = Harness()
+        for amount in (1, 2, 3):
+            h.send_value("A", "B", "x", amount)
+        h.flush()
+        assert h.managers["B"].in_channel("A").cumulative_accepted == 3
+        h.flush()
+        assert h.managers["A"].out_channel("B").cumulative_acked == 3
+
+    def test_piggyback_ack_on_reverse_traffic(self):
+        h = Harness()
+        h.send_value("A", "B", "x", 5)
+        h.flush(drop=lambda s, d, p: isinstance(p, VmAck))
+        # B now sends its own value to A; the transfer carries the ack.
+        h.send_value("B", "A", "y", 1)
+        h.flush()
+        assert h.managers["A"].out_channel("B").cumulative_acked == 1
+
+
+class TestRefusalAndPoke:
+    def test_locked_item_leaves_vm_pending(self):
+        h = Harness()
+        h.refuse["B"] = True
+        h.send_value("A", "B", "x", 5)
+        h.flush()
+        assert h.accepted["B"] == []
+        assert h.managers["B"].in_channel("A").pending
+
+    def test_poke_retries_pending_head(self):
+        h = Harness()
+        h.refuse["B"] = True
+        h.send_value("A", "B", "x", 5)
+        h.flush()
+        h.refuse["B"] = False
+        h.managers["B"].poke()
+        assert len(h.accepted["B"]) == 1
+
+    def test_head_of_line_blocks_later_messages(self):
+        h = Harness()
+        h.refuse["B"] = True
+        h.send_value("A", "B", "x", 1)
+        h.flush()
+        h.refuse["B"] = False
+        h.send_value("A", "B", "x", 2)
+        h.flush()
+        # Seq 2 cannot be absorbed before seq 1; both land on the poke.
+        assert [entry.amount for _s, entry in h.accepted["B"]] == [1, 2]
+
+    def test_refused_head_not_consumed(self):
+        h = Harness()
+        h.refuse["B"] = True
+        h.send_value("A", "B", "x", 5)
+        h.flush()
+        channel = h.managers["B"].in_channel("A")
+        assert channel.cumulative_accepted == 0
+        assert 1 in channel.pending
+
+
+class TestOutstanding:
+    def test_has_outstanding_tracks_item(self):
+        h = Harness()
+        h.send_value("A", "B", "x", 5)
+        assert h.managers["A"].has_outstanding("x")
+        assert not h.managers["A"].has_outstanding("y")
+        h.flush()
+        h.flush()
+        assert not h.managers["A"].has_outstanding("x")
+
+    def test_prune_drops_acked_entries(self):
+        h = Harness()
+        h.send_value("A", "B", "x", 5)
+        h.flush()
+        h.flush()
+        channel = h.managers["A"].out_channel("B")
+        assert channel.entries
+        channel.prune()
+        assert not channel.entries
+
+    def test_instrumentation_times(self):
+        h = Harness()
+        h.send_value("A", "B", "x", 5)
+        h.flush()
+        assert ("B", 1) in h.managers["A"].created_times
+        assert ("A", 1) in h.managers["B"].accept_times
+
+
+class TestReentrancy:
+    def test_accept_may_reenter_drain_without_double_absorb(self):
+        h = Harness()
+        manager_b = h.managers["B"]
+        absorbed = []
+
+        def accept(entry, src):
+            absorbed.append(entry.channel_seq)
+            manager_b.drain(src)  # re-entrant poke from inside accept
+            return True
+
+        manager_b._accept = accept
+        for amount in (1, 2, 3):
+            h.send_value("A", "B", "x", amount)
+        h.flush()
+        assert absorbed == [1, 2, 3]

@@ -1,0 +1,91 @@
+"""Tests for the sliding-window variant of the Vm channel."""
+
+import pytest
+
+from repro.core.domain import CounterDomain
+from repro.core.messages import VmAck, VmTransfer
+from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import DecrementOp, TransactionSpec
+from repro.core.vm import VmManager
+from repro.net.link import LinkConfig
+from repro.sim.kernel import Simulator
+
+from tests.test_vm import Harness
+
+
+class WindowHarness(Harness):
+    def __init__(self, window: int, retransmit_period: float = 5.0):
+        super().__init__(retransmit_period)
+        # Rebuild managers with a window.
+        for name in ("A", "B"):
+            old = self.managers[name]
+            manager = VmManager(name, self.sim, send=old._send,
+                                accept=old._accept,
+                                clock_ts=old._clock_ts,
+                                retransmit_period=retransmit_period,
+                                window=window)
+            self.managers[name] = manager
+
+
+class TestWindow:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VmManager("A", Simulator(), send=lambda d, p: None,
+                      accept=lambda e, s: True, clock_ts=lambda: 1,
+                      window=0)
+
+    def test_only_window_entries_transmitted(self):
+        h = WindowHarness(window=1)
+        for amount in (1, 2, 3):
+            h.send_value("A", "B", "x", amount)
+        transfers = [payload for _s, _d, payload in h.wire
+                     if isinstance(payload, VmTransfer)]
+        assert len(transfers) == 1
+        assert transfers[0].entry.channel_seq == 1
+
+    def test_ack_slides_window_open(self):
+        h = WindowHarness(window=1)
+        for amount in (1, 2, 3):
+            h.send_value("A", "B", "x", amount)
+        h.flush()   # delivers #1, B accepts, acks
+        h.flush()   # ack reaches A -> #2 transmits immediately
+        h.flush()   # #2 delivered, acked
+        h.flush()   # ack -> #3 transmits
+        h.flush()
+        h.flush()
+        assert [entry.amount for _s, entry in h.accepted["B"]] == [1, 2, 3]
+        assert h.managers["A"].unacked_count() == 0
+
+    def test_out_of_window_entries_remain_live(self):
+        h = WindowHarness(window=2)
+        for amount in (1, 2, 3, 4, 5):
+            h.send_value("A", "B", "x", amount)
+        # All five are live Vm (logged) even though only two flew.
+        assert h.managers["A"].unacked_count() == 5
+        assert h.managers["A"].has_outstanding("x")
+
+    def test_retransmit_respects_window(self):
+        h = WindowHarness(window=2, retransmit_period=5.0)
+        for amount in (1, 2, 3, 4):
+            h.send_value("A", "B", "x", amount)
+        h.wire.clear()  # everything lost
+        h.sim.run_until(5.0)
+        transfers = [payload for _s, _d, payload in h.wire
+                     if isinstance(payload, VmTransfer)]
+        assert sorted(t.entry.channel_seq for t in transfers) == [1, 2]
+
+    def test_end_to_end_with_window_and_loss(self):
+        system = DvPSystem(SystemConfig(
+            sites=["A", "B", "C"], seed=33, txn_timeout=30.0,
+            retransmit_period=2.0, vm_window=1,
+            link=LinkConfig(base_delay=1.0, loss_probability=0.3)))
+        system.add_item("x", CounterDomain(), total=90)
+        results = []
+        system.submit("A", TransactionSpec(ops=(DecrementOp("x", 70),)),
+                      results.append)
+        system.run_for(60.0)
+        system.run_for(400.0)
+        assert results
+        system.auditor.assert_ok()
+        for site in system.sites.values():
+            assert site.vm.unacked_count() == 0

@@ -1,0 +1,261 @@
+"""Tests for workload generators, the driver, and metrics."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.domain import CounterDomain
+from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    Outcome,
+    ReadFullOp,
+    TransactionSpec,
+    TransferOp,
+    TxnResult,
+)
+from repro.metrics.collector import Collector
+from repro.metrics.stats import Summary, percentile, summarize
+from repro.metrics.tables import Table
+from repro.workloads.airline import AirlineWorkload
+from repro.workloads.banking import BankingWorkload
+from repro.workloads.base import (
+    OpMix,
+    WorkloadConfig,
+    WorkloadDriver,
+    poisson_count,
+    zipf_choice,
+)
+from repro.workloads.inventory import InventoryWorkload
+
+
+class TestOpMix:
+    def test_normalized_sums_to_one(self):
+        mix = OpMix(reserve=2.0, cancel=1.0, transfer=1.0, read=0.0)
+        weights = dict(mix.normalized())
+        assert math.isclose(sum(weights.values()), 1.0)
+        assert weights["reserve"] == 0.5
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            OpMix(reserve=0, cancel=0, transfer=0, read=0).normalized()
+
+
+class TestWorkloadConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"arrival_rate": 0.0},
+        {"duration": 0.0},
+        {"amount_low": 0},
+        {"amount_low": 5, "amount_high": 2},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+
+class TestZipf:
+    def test_zero_skew_is_uniform_choice(self):
+        rng = random.Random(1)
+        items = ["a", "b", "c"]
+        picks = {zipf_choice(rng, items, 0.0) for _ in range(100)}
+        assert picks == set(items)
+
+    def test_high_skew_prefers_head(self):
+        rng = random.Random(1)
+        items = [f"i{k}" for k in range(10)]
+        picks = [zipf_choice(rng, items, 2.0) for _ in range(1000)]
+        assert picks.count("i0") > picks.count("i9") * 3
+
+    def test_single_item(self):
+        assert zipf_choice(random.Random(1), ["only"], 5.0) == "only"
+
+
+class TestPoissonCount:
+    def test_mean_roughly_right(self):
+        rng = random.Random(2)
+        samples = [poisson_count(rng, 0.5, 20.0) for _ in range(500)]
+        assert 9 < sum(samples) / len(samples) < 11
+
+    def test_zero_ish_rate(self):
+        rng = random.Random(2)
+        assert poisson_count(rng, 0.0001, 1.0) in (0, 1)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("workload_cls,items", [
+        (AirlineWorkload, ["f1", "f2"]),
+        (BankingWorkload, ["acct1", "acct2"]),
+        (InventoryWorkload, ["sku1", "sku2"]),
+    ])
+    def test_specs_are_well_formed(self, workload_cls, items):
+        source = workload_cls(items)
+        rng = random.Random(3)
+        for _ in range(200):
+            spec = source.make_spec(rng, "site")
+            assert isinstance(spec, TransactionSpec)
+            assert spec.ops
+            assert spec.items() <= set(items)
+
+    def test_empty_items_rejected(self):
+        for workload_cls in (AirlineWorkload, BankingWorkload,
+                             InventoryWorkload):
+            with pytest.raises(ValueError):
+                workload_cls([])
+
+    def test_airline_transfer_targets_distinct_flights(self):
+        source = AirlineWorkload(["f1", "f2"], WorkloadConfig(
+            mix=OpMix(reserve=0, cancel=0, transfer=1.0, read=0)))
+        rng = random.Random(3)
+        for _ in range(50):
+            spec = source.make_spec(rng, "site")
+            op = spec.ops[0]
+            assert isinstance(op, TransferOp)
+            assert op.src_item != op.dst_item
+
+    def test_inventory_read_label(self):
+        source = InventoryWorkload(["sku"], WorkloadConfig(
+            mix=OpMix(reserve=0, cancel=0, transfer=0, read=1.0)))
+        spec = source.make_spec(random.Random(3), "site")
+        assert isinstance(spec.ops[0], ReadFullOp)
+        assert spec.label == "stock-check"
+
+
+class TestDriver:
+    def build(self):
+        system = DvPSystem(SystemConfig(sites=["A", "B"]))
+        system.add_item("f", CounterDomain(), total=1000)
+        return system
+
+    def test_install_schedules_arrivals(self):
+        system = self.build()
+        config = WorkloadConfig(arrival_rate=0.5, duration=100.0)
+        driver = WorkloadDriver(system.sim, system, ["A", "B"],
+                                AirlineWorkload(["f"], config), config)
+        scheduled = driver.install()
+        assert scheduled > 0
+        system.run_for(150.0)
+        assert len(driver.collector.results) == scheduled
+
+    def test_deterministic_across_builds(self):
+        def run(seed):
+            system = DvPSystem(SystemConfig(sites=["A", "B"], seed=seed))
+            system.add_item("f", CounterDomain(), total=1000)
+            config = WorkloadConfig(arrival_rate=0.3, duration=60.0)
+            driver = WorkloadDriver(system.sim, system, ["A", "B"],
+                                    AirlineWorkload(["f"], config), config)
+            driver.install()
+            system.run_for(100.0)
+            return [(r.label, r.site, r.submitted_at)
+                    for r in driver.collector.results]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_dead_site_submissions_counted_as_lost(self):
+        system = self.build()
+        system.crash("A")
+        config = WorkloadConfig(arrival_rate=0.5, duration=50.0)
+        driver = WorkloadDriver(system.sim, system, ["A"],
+                                AirlineWorkload(["f"], config), config)
+        driver.install()
+        system.run_for(100.0)
+        assert driver.collector.lost == driver.collector.submitted
+
+
+def make_result(latency, committed=True, reason="ok", submitted=0.0,
+                site="A"):
+    return TxnResult(
+        txn_id="t", label="", site=site,
+        outcome=Outcome.COMMITTED if committed else Outcome.ABORTED,
+        reason=reason, submitted_at=submitted,
+        finished_at=submitted + latency)
+
+
+class TestStats:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.maximum == 3.0
+
+    def test_summarize_empty(self):
+        assert summarize([]) == Summary.empty()
+
+
+class TestCollector:
+    def test_views(self):
+        collector = Collector()
+        collector.on_result(make_result(1.0))
+        collector.on_result(make_result(2.0, committed=False,
+                                        reason="timeout"))
+        assert len(collector.committed) == 1
+        assert len(collector.aborted) == 1
+        assert collector.commit_rate() == 0.5
+        assert collector.abort_reasons() == {"timeout": 1}
+
+    def test_max_latency_covers_aborts(self):
+        collector = Collector()
+        collector.on_result(make_result(1.0))
+        collector.on_result(make_result(9.0, committed=False))
+        assert collector.max_latency() == 9.0
+
+    def test_window_filters_by_submission(self):
+        collector = Collector()
+        collector.on_result(make_result(1.0, submitted=5.0))
+        collector.on_result(make_result(1.0, submitted=15.0))
+        window = collector.in_window(0.0, 10.0)
+        assert len(window.results) == 1
+
+    def test_throughput(self):
+        collector = Collector()
+        for _ in range(10):
+            collector.on_result(make_result(1.0))
+        assert collector.throughput(5.0) == 2.0
+        assert collector.throughput(0.0) == 0.0
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Title", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_note("hello")
+        text = table.render()
+        assert "Title" in text
+        assert "hello" in text
+        assert "x" in text
+
+    def test_row_width_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("a") == [1, 2]
+
+    def test_float_formatting(self):
+        table = Table("T", ["v"])
+        table.add_row(1.234567)
+        table.add_row(float("nan"))
+        table.add_row(3.0)
+        rendered = table.render()
+        assert "1.23" in rendered
+        assert "-" in rendered
+        assert " 3" in rendered or "3" in rendered
