@@ -1,0 +1,195 @@
+"""Microbenchmark: conservation-audit cost on a loaded system.
+
+Two measurements, emitted as ``BENCH_micro_audit.json``:
+
+* ``live_vm_total_us`` / ``check_all_ms`` — cost of the auditor's
+  per-item in-flight query and the all-items conservation check on a
+  system with thousands of live Vm spread over every channel. This is
+  the operation ``DvPSystem._record_result`` performs per read item on
+  every committed read transaction.
+* ``scenario_wall_s`` — wall-clock of a read-heavy inventory scenario
+  (every committed stock-check samples the in-flight total), i.e. the
+  end-to-end effect of the per-commit audit overhead.
+
+The script runs unmodified against both the full-scan auditor (seed)
+and the incremental auditor (``mode`` in the JSON records which one it
+measured), so ``BENCH_seed.json`` vs ``BENCH_pr1.json`` is an
+apples-to-apples comparison.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_micro_audit.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import random
+
+from repro.core.domain import CounterDomain
+from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadLocalOp,
+    TransactionSpec,
+)
+from repro.harness.runner import run_dvp_scenario
+from repro.net.link import LinkConfig
+from repro.workloads.base import WorkloadConfig, uniform_amount
+
+SCALE = {
+    "sites": 12,
+    "items": 6,
+    "vms_per_channel": 3,
+    "query_rounds": 40,
+}
+
+SCENARIO = {
+    "sites": 12,
+    "items": 6,
+    "arrival_rate": 0.5,
+    "duration": 600.0,
+    "total_per_item": 150,
+}
+
+
+class AuditHeavyWorkload:
+    """Local stock-checks (each committed one samples the in-flight
+    total per item read) over a pool small enough that sells keep
+    requesting remote value, so Vm are genuinely in transit."""
+
+    def __init__(self, items: list[str], config: WorkloadConfig) -> None:
+        self.items = items
+        self.config = config
+
+    def make_spec(self, rng: random.Random,
+                  site: str) -> TransactionSpec:
+        roll = rng.random()
+        first = rng.choice(self.items)
+        if roll < 0.55:
+            second = rng.choice(self.items)
+            return TransactionSpec(
+                ops=(ReadLocalOp(first), ReadLocalOp(second)),
+                label="stock-check")
+        units = uniform_amount(rng, self.config)
+        if roll < 0.85:
+            return TransactionSpec(ops=(DecrementOp(first, units),),
+                                   label="sell")
+        return TransactionSpec(ops=(IncrementOp(first, units),),
+                               label="restock")
+
+
+def build_loaded_system(sites: int, items: int,
+                        vms_per_channel: int) -> DvPSystem:
+    """A quiescent system with live Vm planted on every channel.
+
+    Each site carves ``vms_per_channel`` one-unit Vm per item for every
+    peer out of its own fragment (logged but never transmitted), so the
+    channel state — and the conservation equation — matches a heavily
+    loaded moment frozen in time.
+    """
+    names = [f"S{index}" for index in range(sites)]
+    system = DvPSystem(SystemConfig(sites=names,
+                                    link=LinkConfig(base_delay=1.0)))
+    item_names = [f"item{index}" for index in range(items)]
+    per_site = (sites - 1) * vms_per_channel + 10
+    for item in item_names:
+        system.add_item(item, CounterDomain(), total=per_site * sites)
+    from repro.storage.records import SetFragment, VmCreateRecord
+    for site in system.sites.values():
+        for dst in site.peers():
+            for item in item_names:
+                for _ in range(vms_per_channel):
+                    value = site.fragments.value(item)
+                    entry = site.vm.allocate_entry(dst, item, 1,
+                                                   "transfer", "bench")
+                    ts = site.clock.next()
+                    lsn = site.log_append(VmCreateRecord(
+                        txn_id="bench",
+                        actions=(SetFragment(item, value - 1, ts=ts),),
+                        messages=(entry,)))
+                    site.apply_actions(
+                        (SetFragment(item, value - 1, ts=ts),), lsn)
+                    site.vm.register_created([entry], transmit=False)
+    return system
+
+
+def bench_queries(system: DvPSystem, rounds: int) -> dict:
+    items = sorted(system.auditor._expected)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for item in items:
+            system.auditor.live_vm_total(item)
+    elapsed = time.perf_counter() - start
+    live_vm_us = 1e6 * elapsed / (rounds * len(items))
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        reports = system.auditor.check_all()
+    check_all_ms = 1e3 * (time.perf_counter() - start) / rounds
+    assert all(report.ok for report in reports), "bench system not conserved"
+    return {"live_vm_total_us": round(live_vm_us, 3),
+            "check_all_ms": round(check_all_ms, 3)}
+
+
+def bench_scenario() -> dict:
+    config = WorkloadConfig(
+        arrival_rate=SCENARIO["arrival_rate"],
+        duration=SCENARIO["duration"])
+    items = [f"item{index}" for index in range(SCENARIO["items"])]
+    start = time.perf_counter()
+    result = run_dvp_scenario(
+        SystemConfig(sites=[f"S{index}"
+                            for index in range(SCENARIO["sites"])],
+                     seed=7, link=LinkConfig(base_delay=1.0)),
+        {item: (CounterDomain(), SCENARIO["total_per_item"])
+         for item in items},
+        AuditHeavyWorkload(items, config), config)
+    wall = time.perf_counter() - start
+    assert result.conservation_ok, "scenario violated conservation"
+    reads = sum(1 for r in result.system.committed() if r.read_values)
+    return {"scenario_wall_s": round(wall, 3),
+            "scenario_committed": len(result.system.committed()),
+            "scenario_reads": reads}
+
+
+def run_bench(scale: dict | None = None) -> dict:
+    scale = scale or SCALE
+    system = build_loaded_system(scale["sites"], scale["items"],
+                                 scale["vms_per_channel"])
+    mode = ("incremental"
+            if hasattr(system.auditor, "verify_full") else "scan")
+    payload = {"bench": "micro_audit", "mode": mode,
+               "scale": dict(scale), "scenario": dict(SCENARIO)}
+    payload.update(bench_queries(system, scale["query_rounds"]))
+    payload.update(bench_scenario())
+    return payload
+
+
+def test_micro_audit_smoke():
+    """CI smoke: tiny scale, asserts conservation holds throughout."""
+    payload = run_bench({"sites": 4, "items": 2, "vms_per_channel": 1,
+                         "query_rounds": 2})
+    assert payload["live_vm_total_us"] > 0
+    assert payload["scenario_committed"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_micro_audit.json")
+    args = parser.parse_args(argv)
+    payload = run_bench()
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Microbenchmark: experiment-harness wall-clock on the E6 sweep.
+
+Times the e06 hot-spot sweep (site_counts x {lock, escrow, DvP}) three
+ways and emits ``BENCH_micro_harness.json``:
+
+* ``sequential_s``    — the plain in-process path (the only path the
+  seed repo has);
+* ``parallel_cold_s`` — the ``repro.harness.parallel`` engine with 4
+  workers and an empty result cache (pure fan-out);
+* ``parallel_warm_s`` — the same run again with the cache populated
+  (re-runs only compute changed cells; here none changed).
+
+``speedup`` is sequential/parallel_warm — the wall-clock win a repeat
+sweep gets from the cached parallel harness; ``speedup_cold`` isolates
+the multiprocessing fan-out alone. On the seed repo (no parallel
+harness) only the sequential number is recorded.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_micro_harness.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.harness.experiments import e06_hotspot as e06
+
+JOBS = 4
+
+SWEEP = {
+    "site_counts": [4, 8, 12],
+    "arrival_rate": 1.0,
+    "duration": 2000.0,
+}
+
+SMOKE_SWEEP = {
+    "site_counts": [1, 2],
+    "arrival_rate": 0.1,
+    "duration": 120.0,
+}
+
+
+def _params(sweep: dict) -> "e06.Params":
+    return e06.Params(site_counts=list(sweep["site_counts"]),
+                      arrival_rate=sweep["arrival_rate"],
+                      duration=sweep["duration"])
+
+
+def run_bench(sweep: dict | None = None, jobs: int = JOBS) -> dict:
+    sweep = sweep or SWEEP
+    params = _params(sweep)
+    # Cold fan-out is bounded by the hardware: on a single-core box it
+    # cannot beat sequential, so record what the workers had to work
+    # with alongside the timings.
+    payload: dict = {"bench": "micro_harness", "sweep": dict(sweep),
+                     "jobs": jobs, "cpus": os.cpu_count()}
+
+    start = time.perf_counter()
+    table = e06.run(params)
+    payload["sequential_s"] = round(time.perf_counter() - start, 3)
+    assert table.rows, "sequential sweep produced no rows"
+
+    try:
+        from repro.harness import parallel
+    except ImportError:
+        payload["parallel"] = "unavailable"
+        return payload
+
+    payload["cells"] = len(e06.cells(params))
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cold = parallel.GridEvaluator(
+            jobs=jobs, cache=parallel.ResultCache(cache_dir))
+        start = time.perf_counter()
+        cold_table = e06.run(params, evaluate=cold)
+        payload["parallel_cold_s"] = round(time.perf_counter() - start, 3)
+
+        warm = parallel.GridEvaluator(
+            jobs=jobs, cache=parallel.ResultCache(cache_dir))
+        start = time.perf_counter()
+        warm_table = e06.run(params, evaluate=warm)
+        payload["parallel_warm_s"] = round(time.perf_counter() - start, 3)
+
+        assert [r[:2] for r in cold_table.rows] == \
+            [r[:2] for r in table.rows], "parallel rows diverge"
+        assert warm_table.render() == cold_table.render(), \
+            "cache replay diverges from computed results"
+        payload["cache_hits_warm"] = warm.cache_hits
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    payload["speedup_cold"] = round(
+        payload["sequential_s"] / max(payload["parallel_cold_s"], 1e-9), 2)
+    payload["speedup"] = round(
+        payload["sequential_s"] / max(payload["parallel_warm_s"], 1e-9), 2)
+    return payload
+
+
+def test_micro_harness_smoke():
+    """CI smoke: tiny sweep; checks parallel/cached rows match."""
+    payload = run_bench(SMOKE_SWEEP, jobs=2)
+    assert payload["sequential_s"] > 0
+    if payload.get("parallel") != "unavailable":
+        assert payload["cache_hits_warm"] == payload["cells"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_micro_harness.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sweep (CI)")
+    args = parser.parse_args(argv)
+    payload = run_bench(SMOKE_SWEEP if args.smoke else SWEEP)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,15 @@
     python -m repro list                      # experiment index
     python -m repro run E3 [--full]           # run one experiment
     python -m repro run all [--full]          # run every experiment
+    python -m repro run E6 --full --jobs 4    # fan cells over 4 workers
     python -m repro chaos --seed 7 --loss 0.4 # randomized audit run
 
 ``run`` uses the quick presets by default (seconds); ``--full``
-reproduces the tables recorded in EXPERIMENTS.md.
+reproduces the tables recorded in EXPERIMENTS.md. Each experiment is a
+grid of independent cells: ``--jobs N`` computes them on N worker
+processes, and results are memoized under ``--cache-dir`` (default
+``.repro-cache``) so repeat runs with unchanged parameters replay
+instantly; ``--no-cache`` recomputes everything.
 """
 
 from __future__ import annotations
@@ -26,6 +31,13 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.harness.parallel import GridEvaluator, ResultCache
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    evaluator = GridEvaluator(jobs=args.jobs, cache=cache)
     targets = (experiments.all_ids() if args.experiment.lower() == "all"
                else [args.experiment])
     for experiment_id in targets:
@@ -37,8 +49,13 @@ def _cmd_run(args) -> int:
                   file=sys.stderr)
             return 2
         params = module.Params() if args.full else module.Params.quick()
-        print(module.run(params))
+        print(module.run(params, evaluate=evaluator))
         print()
+    if cache is not None:
+        print(f"[cells: {evaluator.cache_hits} cached, "
+              f"{evaluator.computed} computed "
+              f"(jobs={args.jobs}, cache={cache.root})]",
+              file=sys.stderr)
     return 0
 
 
@@ -107,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="experiment id (E1..E11) or 'all'")
     run_parser.add_argument("--full", action="store_true",
                             help="full preset (EXPERIMENTS.md numbers)")
+    run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes for grid cells "
+                                 "(default 1: in-process)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="do not read or write the result cache")
+    run_parser.add_argument("--cache-dir", default=".repro-cache",
+                            help="result cache directory "
+                                 "(default .repro-cache)")
     run_parser.set_defaults(func=_cmd_run)
 
     chaos_parser = commands.add_parser(

@@ -4,14 +4,29 @@ A fragment is the local element of Π⁻¹(d): the stable page holds its
 value (see :mod:`repro.storage.pages`); this store adds the volatile
 metadata — the fragment timestamp TS(d_i) used by Conc1 — and the
 domain registry mapping each item to its (Γ, Π).
+
+An optional ``observer`` (the conservation auditor's incremental
+accounting) is told about every stable-value change — registration,
+write, and effective redo — with the old and new values, which is all
+the information needed to keep global Σ-fragment totals in O(1).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterator, Protocol
 
 from repro.core.domain import Domain
 from repro.storage.pages import PageStore
+
+
+class FragmentObserver(Protocol):
+    """What the auditor hooks into a fragment store."""
+
+    def on_fragment_register(self, site: str, item: str, domain: Domain,
+                             value: Any) -> None: ...
+
+    def on_fragment_write(self, site: str, item: str, old: Any,
+                          new: Any) -> None: ...
 
 
 class FragmentStore:
@@ -20,6 +35,7 @@ class FragmentStore:
     def __init__(self, site: str, pages: PageStore) -> None:
         self.site = site
         self.pages = pages
+        self.observer: FragmentObserver | None = None
         self._domains: dict[str, Domain] = {}
         self._timestamps: dict[str, int] = {}
 
@@ -31,6 +47,9 @@ class FragmentStore:
         self._domains[item] = domain
         self.pages.create(item, initial)
         self._timestamps[item] = 0
+        if self.observer is not None:
+            self.observer.on_fragment_register(self.site, item, domain,
+                                               initial)
 
     def knows(self, item: str) -> bool:
         return item in self._domains
@@ -48,11 +67,20 @@ class FragmentStore:
 
     def write(self, item: str, value: Any, lsn: int) -> None:
         self._domains[item].validate(value)
-        self.pages.write(item, value, lsn)
+        if self.observer is not None:
+            old = self.pages.read(item)
+            self.pages.write(item, value, lsn)
+            self.observer.on_fragment_write(self.site, item, old, value)
+        else:
+            self.pages.write(item, value, lsn)
 
     def redo_write(self, item: str, value: Any, lsn: int) -> bool:
         """Idempotent redo (guarded by the page LSN)."""
-        return self.pages.write_if_newer(item, value, lsn)
+        old = self.pages.read(item) if self.observer is not None else None
+        written = self.pages.write_if_newer(item, value, lsn)
+        if written and self.observer is not None:
+            self.observer.on_fragment_write(self.site, item, old, value)
+        return written
 
     # -- timestamps (volatile, log-reconstructed) ---------------------------
 

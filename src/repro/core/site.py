@@ -91,6 +91,10 @@ class DvPSite:
         self.log = StableLog(name)
         self.pages = PageStore(name)
         self.fragments = FragmentStore(name, self.pages)
+        #: Accounting observer (the system's conservation auditor). Set
+        #: by DvPSystem after construction; the notify methods below
+        #: look it up late so VmManagers rebuilt by recovery stay wired.
+        self.observer = None
         self.locks = LockTable()
         self.clock = LamportClock(rank)
         self.vm = self._new_vm_manager()
@@ -117,7 +121,17 @@ class DvPSite:
             accept=self._accept_vm,
             clock_ts=self.clock.next,
             retransmit_period=self.config.retransmit_period,
-            window=self.config.vm_window)
+            window=self.config.vm_window,
+            on_created=self._notify_vm_created,
+            on_accepted=self._notify_vm_accepted)
+
+    def _notify_vm_created(self, entry) -> None:
+        if self.observer is not None:
+            self.observer.on_vm_created(self.name, entry)
+
+    def _notify_vm_accepted(self, src: str, entry) -> None:
+        if self.observer is not None:
+            self.observer.on_vm_accepted(self.name, src, entry)
 
     # -- topology ---------------------------------------------------------
 

@@ -74,7 +74,6 @@ class DvPSystem:
         self.cc = make_cc(self.config.cc)
         self.policy = make_policy(self.config.policy,
                                   **self.config.policy_kwargs)
-        self.auditor = ConservationAuditor(self)
         self.results: list[TxnResult] = []
         self._result_hooks: list[Callable[[TxnResult], None]] = []
         site_config = SiteConfig(
@@ -89,6 +88,10 @@ class DvPSystem:
             self.sites[name] = DvPSite(
                 name, rank, self.sim, self.network, self.cc, self.policy,
                 site_config, on_result=self._record_result)
+        # The auditor hooks into the sites' fragment stores and Vm
+        # lifecycles (incremental accounting), so it attaches after
+        # the sites exist.
+        self.auditor = ConservationAuditor(self)
 
     # -- item registration --------------------------------------------------
 
@@ -134,7 +137,9 @@ class DvPSystem:
             # Sample, at the commit instant, how much of each read item
             # was still in transmission: the read protocol's inherent
             # blind spot (Section 3's N_M). The serializability checker
-            # uses this as the permitted under-report bound.
+            # uses this as the permitted under-report bound. The
+            # auditor's incremental books make this an O(1) lookup per
+            # item instead of a full sender × receiver channel scan.
             for item in result.read_values:
                 result.inflight_at_commit[item] = \
                     self.auditor.live_vm_total(item)

@@ -75,7 +75,10 @@ class VmManager:
                  accept: Callable[[VmEntry, str], bool],
                  clock_ts: Callable[[], int],
                  retransmit_period: float = 5.0,
-                 window: int | None = None) -> None:
+                 window: int | None = None,
+                 on_created: Callable[[VmEntry], None] | None = None,
+                 on_accepted: Callable[[str, VmEntry], None] | None = None
+                 ) -> None:
         """*window* caps in-flight (sent-but-unacked) messages per
         channel — the classic sliding window of the "common schemes
         (e.g. 'window' protocols)" Section 4.2 leans on. None means
@@ -89,6 +92,12 @@ class VmManager:
         self._send = send
         self._accept = accept
         self._clock_ts = clock_ts
+        #: Lifecycle hooks for the incremental conservation accounting:
+        #: fired exactly once per Vm — at the create-record instant and
+        #: at the accept-record instant. Recovery rebuilds channel state
+        #: directly (the Vm already existed), so it fires neither.
+        self.on_created = on_created
+        self.on_accepted = on_accepted
         self.outgoing: dict[str, OutgoingChannel] = {}
         self.incoming: dict[str, IncomingChannel] = {}
         self.acks_sent = 0
@@ -142,6 +151,8 @@ class VmManager:
             channel.entries[entry.channel_seq] = entry
             self.created_times.setdefault((entry.dst, entry.channel_seq),
                                           self.sim.now)
+            if self.on_created is not None:
+                self.on_created(entry)
             if transmit and self._in_window(channel, entry.channel_seq):
                 self._transmit(entry)
                 channel.highest_sent = max(channel.highest_sent,
@@ -252,6 +263,8 @@ class VmManager:
                 break
             self.accepts += 1
             self.accept_times[(src, next_seq)] = self.sim.now
+            if self.on_accepted is not None:
+                self.on_accepted(src, entry)
             progressed = True
         if progressed:
             self._send_ack(src)

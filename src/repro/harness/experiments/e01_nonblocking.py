@@ -34,10 +34,13 @@ from repro.core.transactions import (
     TransactionSpec,
     TransferOp,
 )
+from repro.harness.parallel import evaluate_cells
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
 from repro.workloads.base import WorkloadConfig, WorkloadDriver
+
+EXPERIMENT = "E1"
 
 
 @dataclass
@@ -195,15 +198,24 @@ def _run_twopc(params: Params, duration: float) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent (system × partition-duration) grid behind E1."""
     params = params or Params()
+    return [(fn, {"params": params, "duration": duration})
+            for duration in params.partition_durations
+            for fn in ("_run_dvp", "_run_twopc")]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E1: non-blocking behaviour across partition durations",
         ["partition", "system", "txns", "commit%", "max decision t",
          "max lock hold", "blocked>bound at heal"])
     for duration in params.partition_durations:
-        for name, runner in (("DvP", _run_dvp), ("2PC", _run_twopc)):
-            stats = runner(params, duration)
+        for name in ("DvP", "2PC"):
+            stats = next(results)
             table.add_row(
                 duration, name, stats["decided"],
                 round(100 * stats["commit_rate"], 1),

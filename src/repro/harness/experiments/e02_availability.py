@@ -25,11 +25,14 @@ from repro.baselines.primarycopy import PrimaryCopySystem
 from repro.baselines.quorum import QuorumSystem
 from repro.core.domain import CounterDomain
 from repro.core.system import DvPSystem, SystemConfig
+from repro.harness.parallel import evaluate_cells
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
 from repro.workloads.airline import AirlineWorkload
 from repro.workloads.base import OpMix, WorkloadConfig, WorkloadDriver
+
+EXPERIMENT = "E2"
 
 
 @dataclass
@@ -117,14 +120,24 @@ def _run_one(name: str, params: Params, group_count: int) -> tuple:
     return overall, worst
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent (system × grouping) grid behind E2."""
     params = params or Params()
+    return [("_run_one", {"name": name, "params": params,
+                          "group_count": group_count})
+            for group_count in params.groupings
+            for name in ("DvP", "quorum", "primary-copy")]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E2: commit rate inside the partition window",
         ["groups", "system", "window commit%", "worst-group commit%"])
     for group_count in params.groupings:
         for name in ("DvP", "quorum", "primary-copy"):
-            overall, worst = _run_one(name, params, group_count)
+            overall, worst = next(results)
             table.add_row(group_count, name, round(100 * overall, 1),
                           round(100 * worst, 1))
     table.add_note("groups=1 is the no-failure control; quorum needs a "

@@ -22,11 +22,14 @@ from dataclasses import dataclass, field
 
 from repro.core.domain import CounterDomain
 from repro.core.system import DvPSystem, SystemConfig
+from repro.harness.parallel import evaluate_cells
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
 from repro.workloads.base import OpMix, WorkloadConfig, WorkloadDriver
 from repro.workloads.inventory import InventoryWorkload
+
+EXPERIMENT = "E3"
 
 
 @dataclass
@@ -110,15 +113,23 @@ def _run_one(params: Params, loss: float) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent loss-rate grid behind E3."""
     params = params or Params()
+    return [("_run_one", {"params": params, "loss": loss})
+            for loss in params.loss_rates]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E3: Vm delivery under message loss (+dup/reorder, 1 crash)",
         ["loss", "txns", "commit", "Vm created", "mean deliver t",
          "max deliver t", "retx/Vm", "live Vm after settle",
          "conserved"])
     for loss in params.loss_rates:
-        stats = _run_one(params, loss)
+        stats = next(results)
         table.add_row(
             loss, stats["decided"], stats["committed"], stats["created"],
             round(stats["mean_latency"], 1), round(stats["max_latency"], 1),

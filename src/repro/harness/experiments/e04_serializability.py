@@ -23,12 +23,15 @@ from dataclasses import dataclass, field
 
 from repro.core.domain import CounterDomain
 from repro.core.system import DvPSystem, SystemConfig
+from repro.harness.parallel import evaluate_cells
 from repro.harness.serial import check_serializable
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
 from repro.workloads.airline import AirlineWorkload
 from repro.workloads.base import OpMix, WorkloadConfig, WorkloadDriver
+
+EXPERIMENT = "E4"
 
 
 @dataclass
@@ -84,15 +87,25 @@ def _run_one(params: Params, scheme: str, rate: float) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent (scheme × arrival-rate) grid behind E4."""
     params = params or Params()
+    return [("_run_one", {"params": params, "scheme": scheme,
+                          "rate": rate})
+            for scheme in params.schemes
+            for rate in params.arrival_rates]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E4: serializability check (commit-order replay)",
         ["scheme", "rate", "commit", "abort", "reads ok",
          "read mismatch", "neg dips", "conserved", "top abort reason"])
     for scheme in params.schemes:
         for rate in params.arrival_rates:
-            stats = _run_one(params, scheme, rate)
+            stats = next(results)
             table.add_row(
                 scheme, rate, stats["committed"], stats["aborted"],
                 stats["reads"], stats["mismatches"], stats["dips"],

@@ -35,8 +35,11 @@ from repro.core.transactions import (
     TransactionSpec,
     TransferOp,
 )
+from repro.harness.parallel import evaluate_cells
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
+
+EXPERIMENT = "E5"
 
 
 @dataclass
@@ -185,19 +188,27 @@ def _twopc(params: Params, coordinator_reachable: bool) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The four independent recovery scenarios behind E5."""
     params = params or Params()
+    return [
+        ("_dvp_one", {"params": params}),
+        ("_dvp_all", {"params": params}),
+        ("_twopc", {"params": params, "coordinator_reachable": True}),
+        ("_twopc", {"params": params, "coordinator_reachable": False}),
+    ]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = evaluate_cells(EXPERIMENT, cells(params), evaluate)
     table = Table(
         "E5: recovery independence",
         ["scenario", "msgs before resume", "redo applied", "Vm rebuilt",
          "records scanned", "used ckpt", "resume latency",
          "items still locked"])
-    scenarios = [
-        ("dvp-one", _dvp_one(params)),
-        ("dvp-all", _dvp_all(params)),
-        ("2pc-reachable", _twopc(params, coordinator_reachable=True)),
-        ("2pc-cut-off", _twopc(params, coordinator_reachable=False)),
-    ]
+    scenarios = list(zip(
+        ("dvp-one", "dvp-all", "2pc-reachable", "2pc-cut-off"), results))
     for name, stats in scenarios:
         table.add_row(
             name, stats["messages_before_resume"], stats["redo"],

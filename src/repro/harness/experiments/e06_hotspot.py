@@ -28,11 +28,14 @@ from repro.baselines.common import BaselineConfig
 from repro.baselines.escrow import CentralCounterSystem
 from repro.core.domain import CounterDomain
 from repro.core.system import DvPSystem, SystemConfig
+from repro.harness.parallel import evaluate_cells
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
 from repro.workloads.base import OpMix, WorkloadConfig, WorkloadDriver
 from repro.workloads.inventory import InventoryWorkload
+
+EXPERIMENT = "E6"
 
 
 @dataclass
@@ -101,8 +104,25 @@ def _stats(collector: Collector, params: Params) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent (site-count × system) grid behind E6."""
     params = params or Params()
+    grid: list[tuple[str, dict]] = []
+    for count in params.site_counts:
+        for name in ("lock", "escrow", "DvP"):
+            if name == "DvP":
+                grid.append(("_run_dvp",
+                             {"params": params, "count": count}))
+            else:
+                grid.append(("_run_central",
+                             {"params": params, "count": count,
+                              "mode": name}))
+    return grid
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E6: hot-spot counter throughput "
         f"(work={params.work}, rate/site={params.arrival_rate})",
@@ -111,10 +131,7 @@ def run(params: Params | None = None) -> Table:
     for count in params.site_counts:
         offered = round(params.arrival_rate * count, 3)
         for name in ("lock", "escrow", "DvP"):
-            if name == "DvP":
-                stats = _run_dvp(params, count)
-            else:
-                stats = _run_central(params, count, name)
+            stats = next(results)
             table.add_row(count, name, offered,
                           round(stats["throughput"], 3),
                           round(100 * stats["commit_rate"], 1),

@@ -29,8 +29,11 @@ from repro.core.transactions import (
     ReadFullOp,
     TransactionSpec,
 )
+from repro.harness.parallel import evaluate_cells
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
+
+EXPERIMENT = "E7"
 
 
 @dataclass
@@ -98,26 +101,47 @@ def _collateral(params: Params, count: int) -> float:
     return sum(1 for result in racers if not result.committed) / len(racers)
 
 
-def run(params: Params | None = None) -> Table:
+def _cell(params: Params, count: int) -> dict:
+    """All E7 measurements for one site count (one grid cell)."""
+    system = _build(params, count)
+    update_latency, update_msgs, _ok = _measure(
+        system, TransactionSpec(ops=(IncrementOp("pool", 3),),
+                                label="update"))
+    system2 = _build(params, count)
+    read_latency, read_msgs, read_ok = _measure(
+        system2, TransactionSpec(ops=(ReadFullOp("pool"),),
+                                 label="read"))
+    return {
+        "update_latency": update_latency,
+        "update_msgs": update_msgs,
+        "read_latency": read_latency,
+        "read_msgs": read_msgs,
+        "read_ok": read_ok,
+        "collateral": _collateral(params, count),
+    }
+
+
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent site-count grid behind E7."""
     params = params or Params()
+    return [("_cell", {"params": params, "count": count})
+            for count in params.site_counts]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E7: full-read cost vs update cost as sites grow",
         ["sites", "update msgs", "update t", "read msgs", "read t",
          "read ok", "racer abort% during read"])
     for count in params.site_counts:
-        system = _build(params, count)
-        update_latency, update_msgs, _ok = _measure(
-            system, TransactionSpec(ops=(IncrementOp("pool", 3),),
-                                    label="update"))
-        system2 = _build(params, count)
-        read_latency, read_msgs, read_ok = _measure(
-            system2, TransactionSpec(ops=(ReadFullOp("pool"),),
-                                     label="read"))
-        collateral = _collateral(params, count)
-        table.add_row(count, update_msgs, round(update_latency, 2),
-                      read_msgs, round(read_latency, 2),
-                      "yes" if read_ok else "no",
-                      round(100 * collateral, 1))
+        stats = next(results)
+        table.add_row(count, stats["update_msgs"],
+                      round(stats["update_latency"], 2),
+                      stats["read_msgs"], round(stats["read_latency"], 2),
+                      "yes" if stats["read_ok"] else "no",
+                      round(100 * stats["collateral"], 1))
     table.add_note("read messages grow ~3n (request + drain + ack per "
                    "peer); updates on a funded fragment cost zero "
                    "messages; freezes abort concurrent update traffic "

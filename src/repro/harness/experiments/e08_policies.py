@@ -30,10 +30,13 @@ from repro.core.transactions import (
     IncrementOp,
     TransactionSpec,
 )
+from repro.harness.parallel import evaluate_cells
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
 from repro.workloads.base import WorkloadConfig, WorkloadDriver
+
+EXPERIMENT = "E8"
 
 
 @dataclass
@@ -112,14 +115,23 @@ def _run_one(params: Params, policy: str, kwargs: dict) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent policy grid behind E8."""
     params = params or Params()
+    return [("_run_one", {"params": params, "policy": policy,
+                          "kwargs": kwargs})
+            for policy, kwargs in params.policies]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E8: redistribution policies under a flash sale at S0",
         ["policy", "hot commit%", "cold commit%", "msgs/commit",
          "hot mean latency"])
     for policy, kwargs in params.policies:
-        stats = _run_one(params, policy, kwargs)
+        stats = next(results)
         label = policy
         if kwargs:
             inner = ",".join(str(value) for value in kwargs.values())

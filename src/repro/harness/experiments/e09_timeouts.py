@@ -23,11 +23,14 @@ from dataclasses import dataclass, field
 
 from repro.core.domain import CounterDomain
 from repro.core.system import DvPSystem, SystemConfig
+from repro.harness.parallel import evaluate_cells
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
 from repro.workloads.base import OpMix, WorkloadConfig, WorkloadDriver
 from repro.workloads.inventory import InventoryWorkload
+
+EXPERIMENT = "E9"
 
 
 @dataclass
@@ -78,15 +81,25 @@ def _run_one(params: Params, timeout: float, retries: int) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent (timeout × retries) grid behind E9."""
     params = params or Params()
+    return [("_run_one", {"params": params, "timeout": timeout,
+                          "retries": retries})
+            for timeout in params.timeouts
+            for retries in params.retry_counts]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         f"E9: timeout/retry frontier (loss={params.loss})",
         ["timeout", "retries", "commit%", "mean commit t",
          "max decision t", "msgs/commit"])
     for timeout in params.timeouts:
         for retries in params.retry_counts:
-            stats = _run_one(params, timeout, retries)
+            stats = next(results)
             table.add_row(timeout, retries,
                           round(100 * stats["commit_rate"], 1),
                           round(stats["mean_latency"], 2),

@@ -23,12 +23,21 @@ from dataclasses import dataclass, field
 
 from repro.core.domain import CounterDomain
 from repro.core.system import DvPSystem, SystemConfig
+from repro.harness.parallel import evaluate_cells
 from repro.harness.serial import check_serializable
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
 from repro.workloads.airline import AirlineWorkload
 from repro.workloads.base import OpMix, WorkloadConfig, WorkloadDriver
+
+EXPERIMENT = "E10"
+
+#: (scheme, synchronous) cases in display order.
+CASES = [
+    ("conc1", False), ("conc1", True),
+    ("conc2", True), ("conc2", False),
+]
 
 
 @dataclass
@@ -84,19 +93,24 @@ def _run_one(params: Params, scheme: str, synchronous: bool) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent (scheme × network) grid behind E10."""
     params = params or Params()
+    return [("_run_one", {"params": params, "scheme": scheme,
+                          "synchronous": synchronous})
+            for scheme, synchronous in CASES]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E10: concurrency control schemes and their assumptions",
         ["scheme", "network", "commit%", "throughput", "cc aborts",
          "timeout aborts", "reads", "serializability violations",
          "conserved"])
-    cases = [
-        ("conc1", False), ("conc1", True),
-        ("conc2", True), ("conc2", False),
-    ]
-    for scheme, synchronous in cases:
-        stats = _run_one(params, scheme, synchronous)
+    for scheme, synchronous in CASES:
+        stats = next(results)
         table.add_row(
             scheme, "sync" if synchronous else "async",
             round(100 * stats["commit_rate"], 1),

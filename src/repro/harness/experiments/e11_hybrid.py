@@ -34,10 +34,15 @@ from repro.core.transactions import (
     ReadFullOp,
     TransactionSpec,
 )
+from repro.harness.parallel import evaluate_cells
 from repro.hybrid import HybridSystem
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
+
+EXPERIMENT = "E11"
+
+REGIMES = ("dvp", "central", "hybrid")
 
 
 @dataclass
@@ -134,13 +139,21 @@ def _run_one(params: Params, regime: str) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent regime grid behind E11."""
     params = params or Params()
+    return [("_run_one", {"params": params, "regime": regime})
+            for regime in REGIMES]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E11: hybrid mode across an update-heavy then read-heavy phase",
         ["regime", "phase", "commit%", "mean latency", "msgs/commit"])
-    for regime in ("dvp", "central", "hybrid"):
-        stats = _run_one(params, regime)
+    for regime in REGIMES:
+        stats = next(results)
         for phase in ("phase1", "phase2"):
             label = "updates" if phase == "phase1" else "reads"
             entry = stats[phase]

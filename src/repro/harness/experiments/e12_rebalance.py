@@ -33,9 +33,12 @@ from repro.core.transactions import (
     IncrementOp,
     TransactionSpec,
 )
+from repro.harness.parallel import evaluate_cells
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
+
+EXPERIMENT = "E12"
 
 
 @dataclass
@@ -106,14 +109,22 @@ def _run_one(params: Params, period: float | None) -> dict:
     }
 
 
-def run(params: Params | None = None) -> Table:
+def cells(params: Params | None = None) -> list[tuple[str, dict]]:
+    """The independent daemon-period grid behind E12."""
     params = params or Params()
+    return [("_run_one", {"params": params, "period": period})
+            for period in params.periods]
+
+
+def run(params: Params | None = None, evaluate=None) -> Table:
+    params = params or Params()
+    results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E12: proactive rebalancing under a returns-depot imbalance",
         ["daemon period", "sale commit%", "sale mean latency",
          "demand requests", "total msgs"])
     for period in params.periods:
-        stats = _run_one(params, period)
+        stats = next(results)
         table.add_row("off" if period is None else period,
                       round(100 * stats["commit"], 1),
                       round(stats["latency"], 2),

@@ -13,9 +13,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
-    """A pending callback, comparable by (time, priority, seq)."""
+    """A pending callback, comparable by (time, priority, seq).
+
+    ``slots=True`` drops the per-event ``__dict__``: simulations
+    allocate one Event per arrival, message hop, and timer tick, so the
+    slimmer layout measurably cuts allocation and comparison cost in
+    long runs.
+    """
 
     time: float
     priority: int
@@ -62,6 +68,25 @@ class EventQueue:
         if not self._heap:
             return None
         return self._heap[0].time
+
+    def pop_if_due(self, time: float) -> Event | None:
+        """Pop the earliest live event iff it is due by *time*.
+
+        One heap traversal replaces the ``peek_time()``-then-``pop()``
+        pair the run-until loop used to make per event: cancelled heads
+        are discarded on the way, and a live head scheduled after
+        *time* stays queued.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if event.time > time:
+                return None
+            return heapq.heappop(heap)
+        return None
 
     def clear(self) -> None:
         self._heap.clear()

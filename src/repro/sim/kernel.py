@@ -95,9 +95,15 @@ class Simulator:
 
     def run_until(self, time: float) -> None:
         """Run all events with timestamp <= *time*, then set clock there."""
+        queue = self._queue
+        trace = self._trace
         while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > time:
+            event = queue.pop_if_due(time)
+            if event is None:
                 break
-            self.step()
+            self._now = event.time
+            self._steps += 1
+            if trace is not None:
+                trace.append((event.time, event.label))
+            event.action()
         self._now = max(self._now, time)

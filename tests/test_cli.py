@@ -14,6 +14,17 @@ class TestParser:
         args = build_parser().parse_args(["run", "E1"])
         assert args.experiment == "E1"
         assert not args.full
+        assert args.jobs == 1
+        assert not args.no_cache
+        assert args.cache_dir == ".repro-cache"
+
+    def test_run_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E6", "--jobs", "4", "--no-cache",
+             "--cache-dir", "/tmp/elsewhere"])
+        assert args.jobs == 4
+        assert args.no_cache
+        assert args.cache_dir == "/tmp/elsewhere"
 
     def test_chaos_defaults(self):
         args = build_parser().parse_args(["chaos"])
@@ -28,16 +39,26 @@ class TestCommands:
         assert "E1" in out and "E12" in out
 
     def test_run_quick(self, capsys):
-        assert main(["run", "E5"]) == 0
+        assert main(["run", "E5", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "recovery independence" in out
 
+    def test_run_cached_replay(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "E5", "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr()
+        assert "0 cached, 4 computed" in cold.err
+        assert main(["run", "E5", "--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr()
+        assert "4 cached, 0 computed" in warm.err
+        assert warm.out == cold.out
+
     def test_run_unknown(self, capsys):
-        assert main(["run", "E99"]) == 2
+        assert main(["run", "E99", "--no-cache"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_run_all_quick(self, capsys):
-        assert main(["run", "all"]) == 0
+        assert main(["run", "all", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "E1:" in out and "E12:" in out
 
