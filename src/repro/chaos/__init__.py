@@ -1,0 +1,53 @@
+"""Deterministic chaos engine: fault-plan DSL, schedule search,
+oracle checking, delta-debugging shrinker, replayable repro artifacts.
+
+The paper's claims are behavioral — non-blocking transactions and
+``Π(fragments) + Π(live Vm) = d`` under crashes, lost/duplicated/
+reordered messages, and partitions. This package explores that failure
+space systematically: :mod:`plan` defines typed fault schedules that
+replay bit-identically from ``(seed, plan)``; :mod:`explore` samples
+them from a weighted grammar and judges every run against the three
+:mod:`oracles`; :mod:`shrink` minimizes any failure to a locally
+minimal action list; :mod:`artifact` freezes it as a JSON repro.
+See docs/CHAOS.md.
+"""
+
+from repro.chaos.artifact import ReproArtifact, default_name
+from repro.chaos.explore import (
+    ExploreReport,
+    FailureCase,
+    FaultGrammar,
+    GrammarWeights,
+    explore,
+    run_seed_for,
+    sample_plan,
+)
+from repro.chaos.oracles import (
+    AuditorOracle,
+    ProgressOracle,
+    SerialOracle,
+    default_oracles,
+)
+from repro.chaos.plan import (
+    CrashSite,
+    FaultAction,
+    FaultPlan,
+    HealNet,
+    LinkFaultWindow,
+    PartitionNet,
+    PlanError,
+    RecoverSite,
+    SkewTick,
+)
+from repro.chaos.runner import ChaosConfig, ChaosResult, run_chaos
+from repro.chaos.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "AuditorOracle", "ChaosConfig", "ChaosResult", "CrashSite",
+    "ExploreReport", "FailureCase", "FaultAction", "FaultGrammar",
+    "FaultPlan", "GrammarWeights", "HealNet", "LinkFaultWindow",
+    "PartitionNet", "PlanError", "ProgressOracle", "RecoverSite",
+    "ReproArtifact", "SerialOracle", "ShrinkResult", "SkewTick",
+    "default_name", "default_oracles", "explore", "run_chaos",
+    "run_seed_for", "sample_plan", "shrink",
+]

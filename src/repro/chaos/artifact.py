@@ -1,0 +1,93 @@
+"""Replayable repro artifacts (``dvp-chaos-repro/1`` JSON format).
+
+A repro artifact freezes everything needed to re-execute a failing
+chaos run bit-identically: the scenario config, the simulator seed, the
+(usually shrunk) fault plan, any armed test-only fault injection, and
+the oracle verdicts observed when it was written. ``replay()`` rebuilds
+the run from the file alone — this is how a CI chaos failure is
+reproduced locally (see docs/CHAOS.md):
+
+    python -m repro chaos --replay tests/repros/<name>.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.chaos.plan import FaultPlan, PlanError
+from repro.chaos.runner import ChaosConfig, ChaosResult, run_chaos
+from repro.core import fragments
+
+FORMAT = "dvp-chaos-repro/1"
+
+
+@dataclass
+class ReproArtifact:
+    """In-memory form of one repro JSON file."""
+
+    seed: int
+    config: ChaosConfig
+    plan: FaultPlan
+    injection: str | None = None
+    failures: dict[str, list[str]] = field(default_factory=dict)
+    note: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT,
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+            "injection": self.injection,
+            "plan": self.plan.to_dicts(),
+            "failures": self.failures,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ReproArtifact":
+        if data.get("format") != FORMAT:
+            raise PlanError(
+                f"not a {FORMAT} artifact (format={data.get('format')!r})")
+        return cls(
+            seed=data["seed"],
+            config=ChaosConfig.from_dict(data["config"]),
+            plan=FaultPlan.from_dicts(data["plan"]),
+            injection=data.get("injection"),
+            failures={oracle: list(messages) for oracle, messages
+                      in data.get("failures", {}).items()},
+            note=data.get("note", ""))
+
+    def write(self, path: "str | pathlib.Path") -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | pathlib.Path") -> "ReproArtifact":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+    def replay(self, oracles: "list | None" = None) -> ChaosResult:
+        """Re-execute the frozen run (arming any recorded injection)."""
+        previous = fragments.test_leak()
+        fragments.set_test_leak(self.injection)
+        try:
+            return run_chaos(self.config, self.plan, self.seed,
+                             oracles=oracles)
+        finally:
+            fragments.set_test_leak(previous)
+
+
+def default_name(artifact: ReproArtifact) -> str:
+    """Stable, human-scannable artifact filename."""
+    oracles = "-".join(sorted(artifact.failures)) or "fail"
+    injection = f"_{artifact.injection}" if artifact.injection else ""
+    return (f"chaos_{oracles}{injection}_seed{artifact.seed}"
+            f"_{len(artifact.plan)}act.json")
+
+
+__all__ = ["ReproArtifact", "default_name", "FORMAT"]

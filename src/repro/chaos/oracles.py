@@ -1,0 +1,170 @@
+"""The three oracles every chaos run is judged against.
+
+* :class:`AuditorOracle` — the PR 1 incremental conservation auditor:
+  ``verify_full()`` must find no divergence between the incremental
+  books and a brute-force scan, every item must satisfy
+  ``Π(fragments) + Π(live Vm) = d``, and the mid-run probes (taken
+  while faults were still active) must all have passed.
+
+* :class:`SerialOracle` — a single-site reference execution: apply the
+  committed transactions' operator sequence, in commit order, to an
+  unpartitioned reference value per item and compare the quiescent
+  ``Π`` the distributed system reached against it. Also replays every
+  committed full read through the N_M band check (a read may lawfully
+  under-report by exactly the value in transmission at its commit
+  instant, and must never over-report).
+
+* :class:`ProgressOracle` — the paper's non-blocking property: every
+  decided transaction decided within its timeout (+ local work), no
+  transaction is still waiting on an unreachable site at quiescence,
+  every undecided submission is attributable to a crash that destroyed
+  it, and all live Vm were eventually absorbed once connectivity
+  returned.
+
+Oracles are pure observers of a finished :class:`ChaosResult`; each
+returns a list of human-readable failure messages (empty = pass).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.core.invariants import IncrementalDivergence
+from repro.harness.serial import check_serializable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.runner import ChaosResult
+
+#: Slack on latency comparisons (pure float-accumulation guard; the
+#: timeout bound itself is exact in virtual time).
+EPSILON = 1e-9
+
+
+class Oracle(Protocol):
+    name: str
+
+    def check(self, result: "ChaosResult") -> list[str]: ...
+
+
+class AuditorOracle:
+    """Conservation + incremental-books/scan agreement, mid-run and final."""
+
+    name = "auditor"
+
+    def check(self, result: "ChaosResult") -> list[str]:
+        failures = [f"mid-run probe: {message}"
+                    for message in result.probe_failures]
+        try:
+            reports = result.system.auditor.verify_full()
+        except IncrementalDivergence as exc:
+            failures.append(f"quiescent divergence: {exc}")
+            return failures
+        for report in reports:
+            if not report.ok:
+                failures.append(f"quiescent {report} "
+                                f"per_site={report.per_site}")
+        return failures
+
+
+class SerialOracle:
+    """Committed operator sequence vs. an unpartitioned reference value."""
+
+    name = "serial"
+
+    def check(self, result: "ChaosResult") -> list[str]:
+        failures: list[str] = []
+        system = result.system
+        domains = {item: system.sites[next(iter(system.sites))]
+                   .fragments.domain(item)
+                   for item in result.initial_totals}
+        # Reference execution: fold semantic deltas in commit order
+        # onto the initial logical value — one site, no partitioning.
+        reference = dict(result.initial_totals)
+        for txn in sorted(system.committed(),
+                          key=lambda r: (r.finished_at, r.txn_id)):
+            for item, sign, amount in txn.semantic_deltas:
+                domain = domains[item]
+                if sign > 0:
+                    reference[item] = domain.combine(reference[item], amount)
+                else:
+                    if not domain.covers(reference[item], amount):
+                        failures.append(
+                            f"{txn.txn_id} over-consumed {item}: serial "
+                            f"value {reference[item]} cannot cover {amount}")
+                        continue
+                    reference[item] = domain.subtract(reference[item],
+                                                      amount)
+        # Quiescent Π of the distributed execution must equal it.
+        for item, expected in sorted(reference.items()):
+            domain = domains[item]
+            observed = domain.combine(
+                system.auditor.fragments_total_scan(item),
+                system.auditor.live_vm_total_scan(item))
+            if observed != expected:
+                failures.append(
+                    f"{item}: quiescent Π={observed} but the serial "
+                    f"reference execution gives {expected}")
+        # Full reads: banded against the reference timeline (N_M term).
+        # Local reads (label "chaos:local-read") return only the site's
+        # own quota — a lawful lower bound, not a full-value claim —
+        # and are excluded from the band.
+        full_reads = [txn for txn in system.results
+                      if txn.label != "chaos:local-read"]
+        report = check_serializable(full_reads, result.initial_totals,
+                                    domains)
+        for txn_id, item, observed, replayed in report.read_mismatches:
+            failures.append(
+                f"read {txn_id}[{item}] returned {observed}, outside the "
+                f"lawful band around serial value {replayed}")
+        for txn_id, item, amount in report.negative_dips:
+            failures.append(
+                f"{txn_id} dipped {item} below zero by {amount} in the "
+                f"serial replay")
+        return failures
+
+
+class ProgressOracle:
+    """Non-blocking: bounded decisions, no stranded work at quiescence."""
+
+    name = "progress"
+
+    def check(self, result: "ChaosResult") -> list[str]:
+        failures: list[str] = []
+        system = result.system
+        bound = result.config.txn_timeout
+        for txn in system.results:
+            # request_retries=0 in chaos configs: one timeout round.
+            # Skewed timers only fire *earlier*, never later.
+            if txn.latency > bound + EPSILON:
+                failures.append(
+                    f"{txn.txn_id} took {txn.latency:g} > timeout "
+                    f"{bound:g} to decide ({txn.outcome.value}) — "
+                    f"it blocked on an unreachable site")
+        undecided = result.submitted - len(system.results)
+        if undecided > result.wiped_by_crash:
+            failures.append(
+                f"{undecided} submissions never decided but only "
+                f"{result.wiped_by_crash} were wiped by crashes — "
+                f"somebody is blocked")
+        for site in system.sites.values():
+            if not site.alive:
+                failures.append(f"site {site.name} still down at "
+                                f"quiescence")
+            if site.active:
+                failures.append(
+                    f"site {site.name} still has active transactions "
+                    f"{sorted(site.active)} at quiescence")
+            stuck = site.vm.unacked_count()
+            if stuck:
+                failures.append(
+                    f"site {site.name} still owes {stuck} unaccepted Vm "
+                    f"at quiescence — value stranded in transmission")
+        return failures
+
+
+def default_oracles() -> list[Oracle]:
+    return [AuditorOracle(), SerialOracle(), ProgressOracle()]
+
+
+__all__ = ["Oracle", "AuditorOracle", "SerialOracle", "ProgressOracle",
+           "default_oracles", "EPSILON"]

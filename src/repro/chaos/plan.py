@@ -1,0 +1,306 @@
+"""The FaultPlan DSL: typed, serializable, replayable fault schedules.
+
+A :class:`FaultPlan` is an ordered tuple of typed fault actions — site
+crashes/recoveries, directed link loss/duplication/reorder windows,
+partition/heal group maps, and clock-skewed timer fires. Compiling a
+plan schedules guarded callbacks on the simulator; because every action
+is parameterized by plain data and every callback draws no randomness
+of its own, a run is a pure function of ``(seed, plan)`` and replays
+bit-identically (checked via :meth:`Simulator.trace_fingerprint`).
+
+Plans serialize to JSON (``to_json`` / ``from_json``): the shrinker
+writes minimized failing plans as repro artifacts under
+``tests/repros/`` and CI failures replay locally from the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import TYPE_CHECKING, Any, Callable, ClassVar
+
+from repro.net.link import LinkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import DvPSystem
+
+
+class PlanError(ValueError):
+    """A fault plan is malformed or references unknown sites."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """Base class: one scripted fault at virtual time ``at``."""
+
+    at: float
+
+    kind: ClassVar[str] = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise PlanError(f"{type(self).__name__}.at must be >= 0")
+
+    def sites_used(self) -> tuple[str, ...]:
+        """Site names the action references (for validation)."""
+        return ()
+
+    def schedule(self, system: "DvPSystem") -> None:
+        """Arm the action's guarded callback(s) on the simulator."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["kind"] = self.kind
+        return data
+
+
+@dataclass(frozen=True)
+class CrashSite(FaultAction):
+    """Fail-stop the site at time ``at`` (no-op if already down)."""
+
+    site: str = ""
+    kind: ClassVar[str] = "crash"
+
+    def sites_used(self) -> tuple[str, ...]:
+        return (self.site,)
+
+    def schedule(self, system: "DvPSystem") -> None:
+        def fire() -> None:
+            if system.sites[self.site].alive:
+                system.crash(self.site)
+
+        system.sim.at(self.at, fire, label=f"chaos:crash:{self.site}")
+
+
+@dataclass(frozen=True)
+class RecoverSite(FaultAction):
+    """Independently recover the site at ``at`` (no-op if alive)."""
+
+    site: str = ""
+    kind: ClassVar[str] = "recover"
+
+    def sites_used(self) -> tuple[str, ...]:
+        return (self.site,)
+
+    def schedule(self, system: "DvPSystem") -> None:
+        def fire() -> None:
+            if not system.sites[self.site].alive:
+                system.recover(self.site)
+
+        system.sim.at(self.at, fire, label=f"chaos:recover:{self.site}")
+
+
+@dataclass(frozen=True)
+class PartitionNet(FaultAction):
+    """Split connectivity into ``groups`` at ``at`` (unlisted sites
+    land together in an implicit final group)."""
+
+    groups: tuple[tuple[str, ...], ...] = ()
+    kind: ClassVar[str] = "partition"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.groups:
+            raise PlanError("partition needs at least one group")
+        # JSON round-trips lists; freeze to tuples for hashability.
+        object.__setattr__(self, "groups", tuple(
+            tuple(group) for group in self.groups))
+
+    def sites_used(self) -> tuple[str, ...]:
+        return tuple(name for group in self.groups for name in group)
+
+    def schedule(self, system: "DvPSystem") -> None:
+        def fire() -> None:
+            system.network.partition([list(group) for group in self.groups])
+
+        system.sim.at(self.at, fire, label="chaos:partition")
+
+
+@dataclass(frozen=True)
+class HealNet(FaultAction):
+    """Undo any partition at ``at``."""
+
+    kind: ClassVar[str] = "heal"
+
+    def schedule(self, system: "DvPSystem") -> None:
+        system.sim.at(self.at, system.network.heal, label="chaos:heal")
+
+
+@dataclass(frozen=True)
+class LinkFaultWindow(FaultAction):
+    """Degrade the directed link ``src``->``dst`` for ``duration``.
+
+    Inside the window the link's loss probability, duplication
+    probability, and jitter (reordering) are overridden; ``down=True``
+    severs the link outright. The link object (and its RNG stream)
+    survives the window, so the fault composes with replay.
+    """
+
+    src: str = ""
+    dst: str = ""
+    duration: float = 1.0
+    loss: float | None = None
+    duplicate: float | None = None
+    jitter: float | None = None
+    down: bool = False
+    kind: ClassVar[str] = "link"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise PlanError("link fault window needs a positive duration")
+        if self.src == self.dst:
+            raise PlanError("link fault src and dst must differ")
+
+    def sites_used(self) -> tuple[str, ...]:
+        return (self.src, self.dst)
+
+    def _window_config(self, base: LinkConfig) -> LinkConfig:
+        return LinkConfig(
+            base_delay=base.base_delay,
+            jitter=base.jitter if self.jitter is None else self.jitter,
+            loss_probability=(base.loss_probability if self.loss is None
+                              else self.loss),
+            duplicate_probability=(base.duplicate_probability
+                                   if self.duplicate is None
+                                   else self.duplicate))
+
+    def schedule(self, system: "DvPSystem") -> None:
+        network = system.network
+
+        def open_window() -> None:
+            link = network.link(self.src, self.dst)
+            network.inject_link_fault(self.src, self.dst,
+                                      self._window_config(link.config))
+            if self.down:
+                link.fail()
+
+        def close_window() -> None:
+            network.clear_link_fault(self.src, self.dst)
+            if self.down:
+                network.link(self.src, self.dst).restore()
+
+        tag = f"{self.src}->{self.dst}"
+        system.sim.at(self.at, open_window, label=f"chaos:link-fault:{tag}")
+        system.sim.at(self.at + self.duration, close_window,
+                      label=f"chaos:link-heal:{tag}")
+
+
+@dataclass(frozen=True)
+class SkewTick(FaultAction):
+    """Clock-skew jump at ``site``: every armed local timer fires at
+    ``at`` instead of its scheduled instant (see
+    :meth:`DvPSite.skew_fire_timers`)."""
+
+    site: str = ""
+    kind: ClassVar[str] = "skew"
+
+    def sites_used(self) -> tuple[str, ...]:
+        return (self.site,)
+
+    def schedule(self, system: "DvPSystem") -> None:
+        def fire() -> None:
+            system.sites[self.site].skew_fire_timers()
+
+        system.sim.at(self.at, fire, label=f"chaos:skew:{self.site}")
+
+
+ACTION_TYPES: dict[str, type[FaultAction]] = {
+    cls.kind: cls for cls in (CrashSite, RecoverSite, PartitionNet,
+                              HealNet, LinkFaultWindow, SkewTick)}
+
+
+def action_from_dict(data: dict[str, Any]) -> FaultAction:
+    """Inverse of :meth:`FaultAction.to_dict`."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = ACTION_TYPES.get(kind)
+    if cls is None:
+        raise PlanError(f"unknown fault action kind {kind!r}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise PlanError(f"{kind}: unknown fields {sorted(unknown)}")
+    if kind == "partition" and "groups" in payload:
+        payload["groups"] = tuple(tuple(g) for g in payload["groups"])
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise PlanError(f"{kind}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable schedule of fault actions."""
+
+    actions: tuple[FaultAction, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def validate(self, sites: list[str]) -> None:
+        """Raise :class:`PlanError` on references to unknown sites."""
+        known = set(sites)
+        for action in self.actions:
+            unknown = set(action.sites_used()) - known
+            if unknown:
+                raise PlanError(
+                    f"{action.kind} references unknown sites "
+                    f"{sorted(unknown)}")
+
+    def compile(self, system: "DvPSystem") -> None:
+        """Schedule every action's guarded callbacks on the simulator."""
+        self.validate(list(system.sites))
+        for action in self.actions:
+            action.schedule(system)
+
+    def without(self, indices: set[int]) -> "FaultPlan":
+        """Copy with the actions at *indices* removed (shrinker step)."""
+        return FaultPlan(tuple(
+            action for position, action in enumerate(self.actions)
+            if position not in indices))
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [action.to_dict() for action in self.actions]
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    @classmethod
+    def from_dicts(cls, data: list[dict[str, Any]]) -> "FaultPlan":
+        return cls(tuple(action_from_dict(entry) for entry in data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, list):
+            raise PlanError("fault plan JSON must be a list of actions")
+        return cls.from_dicts(data)
+
+    def describe(self) -> str:
+        """One line per action, for failure reports and artifacts."""
+        if not self.actions:
+            return "(empty plan)"
+        parts = []
+        for action in self.actions:
+            data = action.to_dict()
+            data.pop("kind")
+            at = data.pop("at")
+            detail = " ".join(f"{key}={value}" for key, value
+                              in sorted(data.items()) if value is not None)
+            parts.append(f"t={at:g} {action.kind}"
+                         + (f" {detail}" if detail else ""))
+        return "; ".join(parts)
+
+
+__all__ = [
+    "FaultAction", "FaultPlan", "PlanError", "CrashSite", "RecoverSite",
+    "PartitionNet", "HealNet", "LinkFaultWindow", "SkewTick",
+    "ACTION_TYPES", "action_from_dict",
+]

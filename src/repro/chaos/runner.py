@@ -1,0 +1,239 @@
+"""Run one workload under one fault plan, deterministically.
+
+``run_chaos(config, plan, seed)`` is a pure function: it builds a DvP
+system, pre-schedules a seed-derived transaction workload, compiles the
+plan onto the simulator, runs to the plan horizon, then *settles*
+(heals the network, lifts link faults, recovers dead sites, and lets
+retransmissions land) so the oracles inspect a quiescent system. The
+whole execution is traced; :attr:`ChaosResult.fingerprint` is a SHA-256
+over every event, so two runs of the same ``(seed, plan)`` can be
+compared bit-for-bit.
+
+Mid-run conservation probes run ``verify_full()`` at fixed fractions of
+the horizon — the same cross-check the PR 1 fuzz performed — and any
+divergence or violation they see is folded into the auditor oracle's
+verdict.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.chaos.plan import FaultPlan
+from repro.core.domain import CounterDomain
+from repro.core.invariants import IncrementalDivergence
+from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadFullOp,
+    ReadLocalOp,
+    TransactionSpec,
+    TransferOp,
+)
+from repro.net.link import LinkConfig
+from repro.sim.random import derive_seed
+
+#: Horizon fractions at which the incremental books are cross-checked
+#: against a full scan while faults are still active.
+PROBE_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 0.97)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """The workload/system half of a chaos scenario (plan-independent).
+
+    The base links are benign (constant small delay, no loss): every
+    failure comes from the fault plan, so an empty plan is a healthy
+    run and shrinking a plan monotonically removes failure causes.
+    """
+
+    sites: int = 4
+    items: int = 2
+    total: int = 120
+    txns: int = 24
+    duration: float = 80.0
+    txn_timeout: float = 10.0
+    retransmit_period: float = 3.0
+    checkpoint_interval: int = 4
+    base_delay: float = 1.0
+    base_jitter: float = 0.5
+    settle: float = 150.0
+
+    def site_names(self) -> list[str]:
+        return [f"S{index}" for index in range(self.sites)]
+
+    def item_names(self) -> list[str]:
+        return [f"item{index}" for index in range(self.items)]
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosConfig":
+        return cls(**data)
+
+
+@dataclass
+class ChaosResult:
+    """Everything the oracles and the explorer need from one run."""
+
+    config: ChaosConfig
+    plan: FaultPlan
+    seed: int
+    system: DvPSystem
+    submitted: int = 0
+    wiped_by_crash: int = 0
+    probe_failures: list[str] = field(default_factory=list)
+    failures: dict[str, list[str]] = field(default_factory=dict)
+    fingerprint: str = ""
+    initial_totals: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
+
+    @property
+    def failed_oracles(self) -> tuple[str, ...]:
+        return tuple(sorted(self.failures))
+
+    def summary(self) -> str:
+        """Deterministic one-liner (no wall-clock, no object ids)."""
+        results = self.system.results
+        committed = sum(1 for r in results if r.committed)
+        verdict = ("FAIL[" + ",".join(self.failed_oracles) + "]"
+                   if self.failed else "ok")
+        return (f"seed={self.seed} actions={len(self.plan)} "
+                f"txns={committed}c/{len(results) - committed}a/"
+                f"{self.submitted - len(results)}l "
+                f"crashes={sum(s.crash_count for s in self.system.sites.values())} "
+                f"{verdict} trace={self.fingerprint[:12]}")
+
+
+def _build_workload(system: DvPSystem, config: ChaosConfig,
+                    result: ChaosResult) -> None:
+    """Pre-schedule every arrival from a seed-derived stream.
+
+    Arrivals at a dead site vanish without being counted as submitted
+    (the customer's request never reached a running server), so the
+    progress oracle can attribute every lost submission to a crash.
+    """
+    rng = system.sim.rng.stream("chaos:workload")
+    sites = config.site_names()
+    items = config.item_names()
+    for _ in range(config.txns):
+        site = rng.choice(sites)
+        item = rng.choice(items)
+        roll = rng.random()
+        amount = rng.randint(1, max(2, config.total // (2 * config.sites)))
+        if roll < 0.50:
+            op = DecrementOp(item, amount)
+        elif roll < 0.70:
+            op = IncrementOp(item, rng.randint(1, 8))
+        elif roll < 0.82 and len(items) > 1:
+            other = rng.choice([name for name in items if name != item])
+            op = TransferOp(item, other, rng.randint(1, 5))
+        elif roll < 0.92:
+            op = ReadFullOp(item)
+        else:
+            op = ReadLocalOp(item)
+        when = rng.uniform(0.5, config.duration)
+        # Local reads return only the site's own quota — a lower bound
+        # with no serial-value claim — so the serial oracle must be
+        # able to tell them apart from full reads.
+        label = ("chaos:local-read" if isinstance(op, ReadLocalOp)
+                 else "chaos")
+
+        def arrive(site=site, op=op, label=label) -> None:
+            target = system.sites[site]
+            if not target.alive:
+                return
+            result.submitted += 1
+            target.submit(TransactionSpec(ops=(op,), label=label))
+
+        system.sim.at(when, arrive, label=f"chaos-arrival:{site}")
+
+
+def _install_probes(system: DvPSystem, config: ChaosConfig,
+                    result: ChaosResult) -> None:
+    for fraction in PROBE_FRACTIONS:
+        def probe(fraction=fraction) -> None:
+            try:
+                reports = system.auditor.verify_full()
+            except IncrementalDivergence as exc:
+                result.probe_failures.append(
+                    f"t={fraction * config.duration:g}: divergence: {exc}")
+                return
+            for report in reports:
+                if not report.ok:
+                    result.probe_failures.append(
+                        f"t={fraction * config.duration:g}: {report}")
+        system.sim.at(fraction * config.duration, probe,
+                      label="chaos-probe")
+
+
+def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
+              oracles: "list | None" = None) -> ChaosResult:
+    """Execute one ``(config, plan, seed)`` scenario and judge it.
+
+    *oracles* defaults to the standard three (auditor, serial,
+    progress); pass an explicit list to narrow or extend.
+    """
+    from repro.chaos.oracles import default_oracles
+
+    system = DvPSystem(SystemConfig(
+        sites=config.site_names(), seed=seed,
+        txn_timeout=config.txn_timeout,
+        retransmit_period=config.retransmit_period,
+        checkpoint_interval=config.checkpoint_interval,
+        link=LinkConfig(base_delay=config.base_delay,
+                        jitter=config.base_jitter)))
+    result = ChaosResult(config=config, plan=plan, seed=seed, system=system)
+    per_site = _quota_split(config, seed)
+    for item in config.item_names():
+        system.add_item(item, CounterDomain(), split=per_site[item])
+        result.initial_totals[item] = sum(per_site[item].values())
+
+    system.sim.enable_trace(limit=0)  # fingerprint only; keep no list
+    _build_workload(system, config, result)
+    _install_probes(system, config, result)
+    plan.compile(system)
+
+    system.run_until(config.duration)
+
+    # Settle: lift every scripted fault, revive every site, let
+    # retransmissions land. The oracles require quiescence.
+    system.network.heal()
+    system.network.clear_all_link_faults()
+    for site in system.sites.values():
+        if not site.alive:
+            site.recover()
+    system.run_for(config.txn_timeout + config.settle)
+
+    result.wiped_by_crash = sum(site.txns_wiped
+                                for site in system.sites.values())
+    result.fingerprint = system.sim.trace_fingerprint()
+    for oracle in (default_oracles() if oracles is None else oracles):
+        messages = oracle.check(result)
+        if messages:
+            result.failures[oracle.name] = messages
+    return result
+
+
+def _quota_split(config: ChaosConfig, seed: int) -> dict[str, dict[str, int]]:
+    """Deterministic uneven initial quotas (forces early Vm traffic)."""
+    rng = random.Random(derive_seed(seed, "chaos:quotas"))
+    split: dict[str, dict[str, int]] = {}
+    for item in config.item_names():
+        names = config.site_names()
+        weights = [rng.randint(1, 5) for _ in names]
+        scale = config.total / sum(weights)
+        quotas = [int(weight * scale) for weight in weights]
+        quotas[0] += config.total - sum(quotas)
+        split[item] = dict(zip(names, quotas))
+    return split
+
+
+__all__ = ["ChaosConfig", "ChaosResult", "run_chaos", "PROBE_FRACTIONS"]

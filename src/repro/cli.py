@@ -4,7 +4,8 @@
     python -m repro run E3 [--full]           # run one experiment
     python -m repro run all [--full]          # run every experiment
     python -m repro run E6 --full --jobs 4    # fan cells over 4 workers
-    python -m repro chaos --seed 7 --loss 0.4 # randomized audit run
+    python -m repro chaos --budget 200 --seed 7   # fault-plan search
+    python -m repro chaos --replay tests/repros/<name>.json
 
 ``run`` uses the quick presets by default (seconds); ``--full``
 reproduces the tables recorded in EXPERIMENTS.md. Each experiment is a
@@ -60,53 +61,12 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.core.domain import CounterDomain
-    from repro.core.system import DvPSystem, SystemConfig
-    from repro.metrics.collector import Collector
-    from repro.net.link import LinkConfig
-    from repro.workloads.airline import AirlineWorkload
-    from repro.workloads.base import WorkloadConfig, WorkloadDriver
+    from repro.harness import chaos as chaos_harness
 
-    sites = [f"S{index}" for index in range(args.sites)]
-    system = DvPSystem(SystemConfig(
-        sites=sites, seed=args.seed, txn_timeout=args.timeout,
-        link=LinkConfig(base_delay=1.0, jitter=1.0,
-                        loss_probability=args.loss,
-                        duplicate_probability=0.1)))
-    system.add_item("item", CounterDomain(), total=args.total)
-    config = WorkloadConfig(arrival_rate=args.rate,
-                            duration=args.duration)
-    collector = Collector()
-    WorkloadDriver(system.sim, system, sites,
-                   AirlineWorkload(["item"], config), config,
-                   collector).install()
-    rng = system.sim.rng.stream("cli-chaos")
-    half = len(sites) // 2
-    system.sim.at(args.duration * 0.25,
-                  lambda: system.network.partition(
-                      [sites[:half], sites[half:]]))
-    system.sim.at(args.duration * 0.6, system.network.heal)
-    victim = rng.choice(sites)
-    system.sim.at(args.duration * 0.4, lambda: system.crash(victim))
-    system.sim.at(args.duration * 0.7, lambda: system.recover(victim))
-    system.run_until(args.duration)
-    system.network.heal()
-    for site in system.sites.values():
-        if not site.alive:
-            site.recover()
-    system.run_for(args.timeout + 300.0)
-
-    print(f"sites={args.sites} loss={args.loss} seed={args.seed} "
-          f"duration={args.duration}")
-    print(f"decided {len(collector.results)} transactions "
-          f"({100 * collector.commit_rate():.1f}% committed, "
-          f"max decision time {collector.max_latency():.1f} <= "
-          f"timeout {args.timeout})")
-    ok = True
-    for report in system.audit():
-        print(f"audit: {report}")
-        ok = ok and report.ok
-    return 0 if ok else 1
+    if args.budget < 1:
+        print("--budget must be >= 1", file=sys.stderr)
+        return 2
+    return chaos_harness.main(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,14 +95,35 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(func=_cmd_run)
 
     chaos_parser = commands.add_parser(
-        "chaos", help="randomized failure run with conservation audit")
-    chaos_parser.add_argument("--seed", type=int, default=0)
+        "chaos",
+        help="deterministic fault-plan search with oracle checking "
+             "(see docs/CHAOS.md)")
+    chaos_parser.add_argument("--budget", type=int, default=200,
+                              metavar="N",
+                              help="fault plans to sample and run "
+                                   "(default 200)")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="master seed; every plan and run "
+                                   "seed derives from it (default 0)")
+    chaos_parser.add_argument("--shrink", action="store_true",
+                              help="delta-debug failing plans to "
+                                   "locally-minimal repros and write "
+                                   "JSON artifacts")
+    chaos_parser.add_argument("--replay", metavar="PATH", default=None,
+                              help="replay a frozen repro artifact "
+                                   "instead of exploring")
+    chaos_parser.add_argument("--inject", default=None,
+                              choices=["write", "crash"],
+                              help="arm a test-only conservation leak "
+                                   "(oracle self-test)")
+    chaos_parser.add_argument("--repro-dir", default="tests/repros",
+                              help="where --shrink writes artifacts "
+                                   "(default tests/repros)")
     chaos_parser.add_argument("--sites", type=int, default=4)
-    chaos_parser.add_argument("--loss", type=float, default=0.3)
-    chaos_parser.add_argument("--rate", type=float, default=0.08)
-    chaos_parser.add_argument("--total", type=int, default=200)
-    chaos_parser.add_argument("--duration", type=float, default=200.0)
-    chaos_parser.add_argument("--timeout", type=float, default=15.0)
+    chaos_parser.add_argument("--items", type=int, default=2)
+    chaos_parser.add_argument("--txns", type=int, default=24)
+    chaos_parser.add_argument("--duration", type=float, default=80.0)
+    chaos_parser.add_argument("--timeout", type=float, default=10.0)
     chaos_parser.set_defaults(func=_cmd_chaos)
     return parser
 

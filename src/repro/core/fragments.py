@@ -18,6 +18,33 @@ from typing import Any, Iterator, Protocol
 from repro.core.domain import Domain
 from repro.storage.pages import PageStore
 
+#: Test-only fault injection, used by the chaos engine's own validation
+#: (see docs/CHAOS.md): a deliberately planted conservation bug that
+#: the explorer must catch and the shrinker must minimize. Never set in
+#: production code paths.
+#:
+#: ``"write"`` — every stable write of a positive integer fragment
+#: silently loses one unit (value destroyed on the hot path; any
+#: committing workload violates conservation, no faults required).
+#: ``"crash"`` — each crash burns one unit of the first non-zero
+#: integer fragment (a torn page the redo guard can never restore; only
+#: plans containing a crash violate conservation).
+_TEST_LEAK: str | None = None
+
+_LEAK_MODES = (None, "write", "crash")
+
+
+def set_test_leak(mode: str | None) -> None:
+    """Arm/disarm the planted conservation bug (test harnesses only)."""
+    global _TEST_LEAK
+    if mode not in _LEAK_MODES:
+        raise ValueError(f"unknown leak mode {mode!r}; try {_LEAK_MODES}")
+    _TEST_LEAK = mode
+
+
+def test_leak() -> str | None:
+    return _TEST_LEAK
+
 
 class FragmentObserver(Protocol):
     """What the auditor hooks into a fragment store."""
@@ -66,6 +93,8 @@ class FragmentStore:
         return self.pages.read(item)
 
     def write(self, item: str, value: Any, lsn: int) -> None:
+        if _TEST_LEAK == "write" and isinstance(value, int) and value > 0:
+            value -= 1  # planted bug: one unit silently destroyed
         self._domains[item].validate(value)
         if self.observer is not None:
             old = self.pages.read(item)
@@ -98,6 +127,14 @@ class FragmentStore:
         """Crash: volatile timestamps vanish (rebuilt by recovery)."""
         for item in self._timestamps:
             self._timestamps[item] = 0
+        if _TEST_LEAK == "crash":
+            for item in sorted(self._domains):
+                value = self.pages.read(item)
+                if isinstance(value, int) and value > 0:
+                    # Planted bug: the crash tears the page, and the
+                    # same-LSN stamp means redo can never restore it.
+                    self.write(item, value - 1, self.pages.page_lsn(item))
+                    break
 
     def snapshot(self) -> dict[str, Any]:
         """Item → value view, used by audits and checkpoints."""

@@ -125,6 +125,13 @@ def recover_site(site: "DvPSite") -> RecoveryReport:
     if max_ts_seen:
         site.clock.observe(max_ts_seen)
 
+    # Chaos-engine observability: stamp the outage window this recovery
+    # closes (crash injection records it; direct recover() calls on a
+    # never-crashed site leave it absent).
+    if site.downtime and site.downtime[-1][1] is None:
+        report.details["crashed_at"] = site.downtime[-1][0]
+        report.details["recovered_at"] = site.sim.now
+
     site.vm = vm
     return report
 

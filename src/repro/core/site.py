@@ -104,6 +104,15 @@ class DvPSite:
         self.alive = True
         self.active: dict[str, Transaction] = {}
         self.crash_count = 0
+        #: Transactions whose volatile state a crash destroyed — their
+        #: clients never hear back. The chaos progress oracle uses this
+        #: to prove every undecided submission is attributable to a
+        #: crash (and not to a transaction blocking on a dead peer).
+        self.txns_wiped = 0
+        #: [start, end] virtual-time windows this site spent dead (end
+        #: is None while still down). Fault plans and oracles read it.
+        self.downtime: list[list[float | None]] = []
+        self.recovery_reports: list["RecoveryReport"] = []
         self.requests_honored = 0
         self.requests_ignored = 0
         self._txn_counter = 0
@@ -401,6 +410,8 @@ class DvPSite:
             return
         self.alive = False
         self.crash_count += 1
+        self.txns_wiped += len(self.active)
+        self.downtime.append([self.sim.now, None])
         self.vm.stop()
         for txn in list(self.active.values()):
             txn._timer.cancel()
@@ -414,5 +425,24 @@ class DvPSite:
         from repro.core.recovery import recover_site
         report = recover_site(self)
         self.alive = True
+        if self.downtime and self.downtime[-1][1] is None:
+            self.downtime[-1][1] = self.sim.now
+        self.recovery_reports.append(report)
         self.vm.start()
         return report
+
+    def skew_fire_timers(self) -> None:
+        """Model a clock-skew jump: every armed local timer fires NOW.
+
+        The protocol's safety cannot depend on how long a timeout
+        actually waits — timeouts are purely local decisions. Firing
+        the Vm retransmission tick early just re-sends live Vm
+        (receivers deduplicate); firing a transaction's timeout early
+        is a legal pessimistic abort (or a legal early retry round).
+        Chaos plans use this to explore skewed-clock schedules.
+        """
+        if not self.alive:
+            return
+        self.vm.tick_now()
+        for txn in list(self.active.values()):
+            txn.skew_timeout()

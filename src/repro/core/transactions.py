@@ -415,6 +415,16 @@ class Transaction:
 
     # -- abort paths -------------------------------------------------------------
 
+    def skew_timeout(self) -> None:
+        """Clock-skew hook: the armed timeout fires now instead of later.
+
+        Legal because a timeout is a purely local, pessimistic decision
+        — nothing in the protocol depends on how long it actually
+        waited. No-op when the timer is disarmed (committing)."""
+        if self._timer.armed:
+            self._timer.cancel()
+            self._on_timeout()
+
     def _on_timeout(self) -> None:
         """Step 3's pessimism: a timeout aborts (after optional retries)."""
         if self.state not in (_State.WAITING_LOCKS, _State.GATHERING,

@@ -205,6 +205,16 @@ class VmManager:
         if self.unacked_count() > 0:
             self._timer.start()
 
+    def tick_now(self) -> None:
+        """Fire the retransmission tick immediately (clock-skew hook).
+
+        Equivalent to the periodic timer having fired early: every
+        in-window live Vm is re-sent right now. The periodic schedule
+        itself is untouched.
+        """
+        self._retransmit_tick()
+        self._ensure_timer()
+
     def start(self) -> None:
         """(Re)arm retransmission after construction or recovery."""
         self._ensure_timer()

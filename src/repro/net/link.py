@@ -41,6 +41,7 @@ class Link:
         self.dst = dst
         self.config = config
         self._rng = rng
+        self._fault: LinkConfig | None = None
         self.up = True
         self.transmissions = 0
         self.losses = 0
@@ -53,27 +54,59 @@ class Link:
     def restore(self) -> None:
         self.up = True
 
+    # -- scripted faults (chaos engine) -----------------------------------
+
+    @property
+    def active_config(self) -> LinkConfig:
+        """The behaviour in force: an injected fault shadows the base."""
+        return self._fault if self._fault is not None else self.config
+
+    @property
+    def faulted(self) -> bool:
+        return self._fault is not None
+
+    def inject_fault(self, config: LinkConfig) -> None:
+        """Shadow the base config (loss/duplication/jitter windows).
+
+        The RNG stream is untouched — a fault window changes only the
+        probabilities each draw is compared against, so clearing the
+        fault returns the link to its exact base behaviour.
+        """
+        self._fault = config
+
+    def clear_fault(self) -> None:
+        self._fault = None
+
+    # -- per-transmission fate --------------------------------------------
+
     def draw_delay(self) -> float:
         """Sample this transmission's latency."""
-        if self.config.jitter == 0:
-            return self.config.base_delay
-        return self.config.base_delay + self._rng.uniform(
-            0.0, self.config.jitter)
+        config = self.active_config
+        if config.jitter == 0:
+            return config.base_delay
+        return config.base_delay + self._rng.uniform(0.0, config.jitter)
 
     def should_drop(self) -> bool:
-        """Decide loss for one transmission (counts it either way)."""
+        """Decide loss for one transmission (counts it either way).
+
+        The loss draw is taken even while the link is down so that a
+        down window never perturbs the draws made after it: replaying
+        the same seed with and without the window keeps every later
+        transmission's fate aligned.
+        """
         self.transmissions += 1
+        lost = self._rng.random() < self.active_config.loss_probability
         if not self.up:
             self.losses += 1
             return True
-        if self._rng.random() < self.config.loss_probability:
+        if lost:
             self.losses += 1
             return True
         return False
 
     def should_duplicate(self) -> bool:
         """Decide whether this delivery is accompanied by a duplicate."""
-        if self._rng.random() < self.config.duplicate_probability:
+        if self._rng.random() < self.active_config.duplicate_probability:
             self.duplicates += 1
             return True
         return False

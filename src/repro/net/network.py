@@ -71,6 +71,30 @@ class Network:
         for (src, dst) in list(self._links):
             self.configure_link(src, dst, config)
 
+    # -- scripted link faults (chaos engine) ------------------------------
+
+    def inject_link_fault(self, src: str, dst: str,
+                          config: LinkConfig) -> None:
+        """Shadow the directed link src->dst with *config* until cleared.
+
+        Unlike :meth:`configure_link` this never replaces the link
+        object (its RNG stream and counters continue), so a fault
+        window composes cleanly with replay: the same seed makes the
+        same draws, only the thresholds differ inside the window.
+        """
+        self.link(src, dst).inject_fault(config)
+
+    def clear_link_fault(self, src: str, dst: str) -> None:
+        key = (src, dst)
+        if key in self._links:
+            self._links[key].clear_fault()
+
+    def clear_all_link_faults(self) -> None:
+        """Lift every injected fault window (chaos settle phase)."""
+        for link in self._links.values():
+            link.clear_fault()
+            link.restore()
+
     # -- partitions -------------------------------------------------------
 
     def partition(self, groups: Iterable[Iterable[str]]) -> None:
@@ -114,11 +138,18 @@ class Network:
             raise KeyError(f"unknown destination {dst!r}")
         envelope = Envelope(src, dst, payload, sent_at=self.sim.now)
         self.sent_counts[envelope.kind()] += 1
+        # The link's loss draw is sampled unconditionally (so a
+        # partition window never shifts the stream), but a message
+        # dropped by both the partition AND the sampled loss is counted
+        # exactly once, with the partition taking precedence:
+        # dropped_partition + dropped_loss + deliveries-scheduled always
+        # equals sends.
+        link = self.link(src, dst)
+        lost = link.should_drop()
         if not self.reachable(src, dst):
             self.dropped_partition += 1
             return
-        link = self.link(src, dst)
-        if link.should_drop():
+        if lost:
             self.dropped_loss += 1
             return
         self._schedule_delivery(envelope, link.draw_delay())

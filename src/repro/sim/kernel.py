@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable
 
 from repro.sim.events import Event, EventQueue
@@ -30,6 +31,8 @@ class Simulator:
         self._now = 0.0
         self.rng = RandomStreams(seed)
         self._trace: list[tuple[float, str]] | None = None
+        self._trace_hash: "hashlib._Hash | None" = None
+        self._trace_limit: int | None = None
         self._steps = 0
 
     @property
@@ -47,15 +50,37 @@ class Simulator:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
 
-    def enable_trace(self) -> None:
-        """Record (time, label) for every executed event; for debugging."""
+    def enable_trace(self, limit: int | None = None) -> None:
+        """Record (time, label) for every executed event.
+
+        Every traced event also feeds a running SHA-256 so two runs can
+        be compared bit-for-bit without retaining the whole schedule:
+        *limit* caps how many (time, label) pairs the :attr:`trace`
+        list keeps (None = all), but the fingerprint always covers every
+        event executed after tracing was enabled. The chaos engine's
+        replay-determinism checks (see :mod:`repro.chaos`) hinge on
+        this hook.
+        """
         self._trace = []
+        self._trace_hash = hashlib.sha256()
+        self._trace_limit = limit
 
     @property
     def trace(self) -> list[tuple[float, str]]:
         if self._trace is None:
             raise SimulationError("tracing is not enabled")
         return self._trace
+
+    def trace_fingerprint(self) -> str:
+        """Hex digest over every (time, label) executed while tracing."""
+        if self._trace_hash is None:
+            raise SimulationError("tracing is not enabled")
+        return self._trace_hash.hexdigest()
+
+    def _record(self, time: float, label: str) -> None:
+        if self._trace_limit is None or len(self._trace) < self._trace_limit:
+            self._trace.append((time, label))
+        self._trace_hash.update(f"{time!r}\x1f{label}\x1e".encode())
 
     def at(self, time: float, action: Callable[[], Any], priority: int = 0,
            label: str = "") -> Event:
@@ -80,7 +105,7 @@ class Simulator:
         self._now = event.time
         self._steps += 1
         if self._trace is not None:
-            self._trace.append((event.time, event.label))
+            self._record(event.time, event.label)
         event.action()
         return True
 
@@ -104,6 +129,6 @@ class Simulator:
             self._now = event.time
             self._steps += 1
             if trace is not None:
-                trace.append((event.time, event.label))
+                self._record(event.time, event.label)
             event.action()
         self._now = max(self._now, time)

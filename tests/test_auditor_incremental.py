@@ -1,138 +1,50 @@
 """Property test: the incremental conservation books never diverge
 from a full scan, whatever the failure schedule.
 
-Each randomized run drives a small system through lossy links, message
-duplication, crashes, recoveries, and a partition window, cross-checking
-``verify_full()`` (incremental vs brute-force scan) at several instants
-mid-run and again after settling. 220 seeds × mid-run checks gives well
-over the two hundred randomized executions the optimization was
-validated against.
+The failure schedules come from the chaos engine (:mod:`repro.chaos`):
+every batch explores ``SEEDS_PER_BATCH`` grammar-sampled fault plans —
+crashes, recoveries, partitions, directed link loss/duplication/reorder
+windows, clock-skew timer fires — and judges each run against all three
+oracles. The auditor's ``verify_full()`` cross-check (incremental books
+vs brute-force scan) runs mid-flight at fixed horizon fractions and
+again at quiescence inside every run. 20 batches × 11 plans keeps the
+220 randomized executions the optimization was validated against, now
+with wider fault coverage than the bespoke generator this replaces.
 """
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
+from repro.chaos import ChaosConfig, explore
 from repro.core.domain import CounterDomain
 from repro.core.invariants import IncrementalDivergence
 from repro.core.system import DvPSystem, SystemConfig
-from repro.core.transactions import (
-    DecrementOp,
-    IncrementOp,
-    ReadLocalOp,
-    TransactionSpec,
-    TransferOp,
-)
-from repro.net.link import LinkConfig
 
 SEEDS_PER_BATCH = 11
 BATCHES = 20  # 220 randomized runs in all
 
 
-def _chaos_run(seed: int) -> None:
-    """One randomized run; raises on divergence or violation."""
-    rng = random.Random(seed)
-    sites = [f"S{index}" for index in range(rng.randint(3, 5))]
-    system = DvPSystem(SystemConfig(
-        sites=sites, seed=seed,
-        txn_timeout=rng.choice([6.0, 10.0]),
-        retransmit_period=3.0,
-        checkpoint_interval=rng.choice([3, 6]),
-        link=LinkConfig(base_delay=1.0, jitter=rng.uniform(0.0, 2.0),
-                        loss_probability=rng.choice([0.0, 0.2, 0.4]),
-                        duplicate_probability=0.1)))
-    items: dict[str, int] = {}
-    for index in range(rng.randint(1, 2)):
-        name = f"item{index}"
-        items[name] = rng.randint(30, 150)
-        system.add_item(name, CounterDomain(), total=items[name])
-
-    duration = 80.0
-    # Arrivals: decrements sized to overflow local quotas (forcing Vm
-    # traffic), plus increments, transfers, and local reads.
-    for _ in range(rng.randint(12, 28)):
-        site = rng.choice(sites)
-        item = rng.choice(list(items))
-        roll = rng.random()
-        if roll < 0.55:
-            op = DecrementOp(item, rng.randint(1, max(2, items[item] // 2)))
-        elif roll < 0.75:
-            op = IncrementOp(item, rng.randint(1, 10))
-        elif roll < 0.9 and len(items) > 1:
-            other = rng.choice([name for name in items if name != item])
-            op = TransferOp(item, other, rng.randint(1, 5))
-        else:
-            op = ReadLocalOp(item)
-        def arrive(s=site, o=op):
-            if system.sites[s].alive:  # arrivals at a dead site vanish
-                system.submit(s, TransactionSpec(ops=(o,), label="fuzz"))
-
-        system.sim.at(rng.uniform(0.5, duration), arrive)
-
-    # Failure schedule: up to two crash/recover pairs...
-    for _ in range(rng.randint(0, 2)):
-        victim = rng.choice(sites)
-        down_at = rng.uniform(5.0, duration - 20.0)
-        up_at = down_at + rng.uniform(5.0, 25.0)
-
-        def crash(name=victim):
-            if system.sites[name].alive:
-                system.crash(name)
-
-        def recover(name=victim):
-            if not system.sites[name].alive:
-                system.recover(name)
-
-        system.sim.at(down_at, crash, label="fuzz-crash")
-        system.sim.at(up_at, recover, label="fuzz-recover")
-    # ...and one partition window over a random split.
-    if rng.random() < 0.7 and len(sites) > 2:
-        shuffled = sites[:]
-        rng.shuffle(shuffled)
-        cut = rng.randint(1, len(shuffled) - 1)
-        split = [shuffled[:cut], shuffled[cut:]]
-        start = rng.uniform(5.0, duration - 20.0)
-        system.sim.at(start, lambda: system.network.partition(split))
-        system.sim.at(start + rng.uniform(5.0, 25.0),
-                      system.network.heal)
-
-    failures: list[str] = []
-
-    def check(label: str):
-        def probe() -> None:
-            try:
-                reports = system.auditor.verify_full()
-            except IncrementalDivergence as exc:
-                failures.append(f"seed {seed} @{label}: {exc}")
-                return
-            for report in reports:
-                if not report.ok:
-                    failures.append(f"seed {seed} @{label}: {report}")
-        return probe
-
-    for index in range(5):
-        system.sim.at(rng.uniform(1.0, duration), check(f"mid{index}"),
-                      label="fuzz-audit")
-
-    system.run_until(duration)
-    # Settle: heal, revive, let retransmissions land, then final check.
-    system.network.heal()
-    for site in system.sites.values():
-        if not site.alive:
-            site.recover()
-    system.run_for(system.config.txn_timeout + 150.0)
-    check("final")()
-    assert not failures, failures[0]
-    system.auditor.assert_ok()
+def _batch_config(batch: int) -> ChaosConfig:
+    """Deterministic per-batch variety in system shape and timing."""
+    return ChaosConfig(
+        sites=3 + batch % 3,
+        items=1 + batch % 2,
+        total=60 + 10 * (batch % 5),
+        txns=12 + batch % 9,
+        txn_timeout=(6.0, 10.0)[batch % 2],
+        checkpoint_interval=(3, 6)[batch % 2])
 
 
 @pytest.mark.parametrize("batch", range(BATCHES))
 def test_incremental_matches_scan_under_chaos(batch):
-    for seed in range(batch * SEEDS_PER_BATCH,
-                      (batch + 1) * SEEDS_PER_BATCH):
-        _chaos_run(seed)
+    report = explore(_batch_config(batch), budget=SEEDS_PER_BATCH,
+                     master_seed=batch)
+    assert report.runs == SEEDS_PER_BATCH
+    assert report.ok, (
+        f"batch {batch}: {len(report.failures)} failing plan(s); "
+        f"first: {report.failures[0].summary} "
+        f"{report.failures[0].failures}")
 
 
 class TestDivergenceDetection:

@@ -28,8 +28,17 @@ class TestParser:
 
     def test_chaos_defaults(self):
         args = build_parser().parse_args(["chaos"])
+        assert args.budget == 200
+        assert args.seed == 0
+        assert not args.shrink
+        assert args.replay is None
+        assert args.inject is None
+        assert args.repro_dir == "tests/repros"
         assert args.sites == 4
-        assert args.loss == 0.3
+
+    def test_chaos_inject_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--inject", "bogus"])
 
 
 class TestCommands:
@@ -62,9 +71,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "E1:" in out and "E12:" in out
 
-    def test_chaos_audits_clean(self, capsys):
-        assert main(["chaos", "--seed", "2", "--duration", "80",
-                     "--loss", "0.2"]) == 0
+    def test_chaos_explore_clean_and_deterministic(self, capsys):
+        assert main(["chaos", "--budget", "4", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert "plans run: 4  failing: 0" in first
+        assert "exploration digest:" in first
+        assert main(["chaos", "--budget", "4", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_bad_budget(self, capsys):
+        assert main(["chaos", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_chaos_inject_shrink_and_replay(self, capsys, tmp_path):
+        from repro.core import fragments
+
+        repro_dir = str(tmp_path / "repros")
+        assert main(["chaos", "--budget", "1", "--seed", "7",
+                     "--inject", "crash", "--shrink",
+                     "--repro-dir", repro_dir]) == 1
         out = capsys.readouterr().out
-        assert "[OK]" in out
-        assert "max decision time" in out
+        assert fragments.test_leak() is None  # disarmed on exit
+        assert "failing: 1" in out
+        assert "repro written:" in out
+        artifacts = list((tmp_path / "repros").glob("*.json"))
+        assert len(artifacts) == 1
+        # The frozen artifact replays the failure bit-identically...
+        assert main(["chaos", "--replay", str(artifacts[0])]) == 1
+        assert "still failing: reproduced" in capsys.readouterr().out
+        # ...and the unshrunk exploration without --shrink exits 1 too.
+        assert main(["chaos", "--budget", "1", "--seed", "7",
+                     "--inject", "crash"]) == 1
+        assert "--shrink" in capsys.readouterr().out

@@ -208,6 +208,27 @@ class TestNetwork:
         sim.run()
         assert [e.payload for e in inboxes["B"]] == ["warm"]
 
+    def test_inject_link_fault_shadows_base_config(self):
+        sim, network, inboxes = make_network(base_delay=1.0)
+        network.inject_link_fault("A", "B", LinkConfig(base_delay=9.0))
+        network.send("A", "B", "slow")
+        sim.run()
+        assert sim.now == 9.0
+        network.clear_link_fault("A", "B")
+        network.send("A", "B", "fast")
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_clear_all_link_faults_restores_down_links(self):
+        sim, network, inboxes = make_network()
+        network.inject_link_fault("A", "B",
+                                  LinkConfig(loss_probability=1.0))
+        network.link("A", "B").fail()
+        network.clear_all_link_faults()
+        network.send("A", "B", "x")
+        sim.run()
+        assert [e.payload for e in inboxes["B"]] == ["x"]
+
     def test_replace_handler(self):
         sim, network, inboxes = make_network()
         replacement: list = []
@@ -221,6 +242,37 @@ class TestNetwork:
         _sim, network, _ = make_network()
         with pytest.raises(KeyError):
             network.replace_handler("Zebra", lambda e: None)
+
+    def test_partition_plus_loss_counted_once(self):
+        # Regression: a message eaten by the partition while the link
+        # would also have dropped it must be counted exactly once,
+        # attributed to the partition (which takes precedence).
+        sim, network, inboxes = make_network(loss_probability=1.0)
+        network.partition([["A"], ["B", "C"]])
+        network.send("A", "B", "x")
+        sim.run()
+        assert inboxes["B"] == []
+        assert network.dropped_partition == 1
+        assert network.dropped_loss == 0
+
+    def test_loss_stream_not_perturbed_by_partition(self):
+        # The loss draw is sampled whether or not the partition eats
+        # the message, so a partition window never shifts the loss
+        # outcomes of later sends (fault plans stay composable).
+        deliveries = []
+        for with_partition in (False, True):
+            sim, network, inboxes = make_network(loss_probability=0.5)
+            if with_partition:
+                network.partition([["A"], ["B", "C"]])
+                network.send("A", "B", "eaten")
+                network.heal()
+            else:
+                network.link("A", "B").should_drop()  # burn one draw
+            for index in range(20):
+                network.send("A", "B", index)
+            sim.run()
+            deliveries.append([e.payload for e in inboxes["B"]])
+        assert deliveries[0] == deliveries[1]
 
     def test_envelope_metadata(self):
         sim, network, inboxes = make_network(base_delay=1.5)
