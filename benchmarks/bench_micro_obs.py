@@ -1,0 +1,175 @@
+"""Microbenchmark: observability overhead on the E1 hot loop.
+
+The structured trace/metrics layer (``repro.obs``) promises to be
+zero-cost when disabled: every emission site caches the bus and guards
+event construction behind ``if obs.enabled:``. This bench puts a
+number on both sides of that promise, emitted as ``BENCH_micro_obs.json``
+(committed as ``BENCH_pr3.json``):
+
+* ``e1_disabled_s`` / ``e1_enabled_s`` — wall-clock of an E1-style
+  cross-site-transfer hot loop (the workload behind the paper's
+  non-blocking claim) with the bus left disabled vs. enabled with a
+  full ring; ``e1_enabled_overhead`` is the relative cost of turning
+  tracing on.
+* ``audit_scenario`` — an unmodified re-run of
+  ``bench_micro_audit.bench_scenario`` so ``scenario_wall_s`` compares
+  directly against the pre-instrumentation number recorded in
+  ``BENCH_pr1.json``: that ratio is the disabled-path overhead, gated
+  at <= 5% by ``main``.
+
+Every loop is timed best-of-``REPEATS`` after a warmup run: on a noisy
+host the minimum is the defensible estimate of the code's cost (GC
+scheduling and CPU contention only ever add time).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_micro_obs.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from bench_micro_audit import bench_scenario as audit_scenario
+
+from repro.core.domain import CounterDomain
+from repro.core.system import DvPSystem, SystemConfig
+from repro.harness.experiments.e01_nonblocking import CrossSiteTransfers
+from repro.metrics.collector import Collector
+from repro.net.link import LinkConfig
+from repro.workloads.base import WorkloadConfig, WorkloadDriver
+
+SCENARIO = {
+    "sites": ["W", "X", "Y", "Z"],
+    "arrival_rate": 0.5,
+    "duration": 1500.0,
+    "total_per_item": 400,
+    "settle": 60.0,
+    "seed": 11,
+}
+
+#: Best-of-N timing; the loops are deterministic so the spread is pure
+#: host noise.
+REPEATS = 3
+
+#: Disabled-path budget vs. the BENCH_pr1 baseline (acceptance gate).
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+def run_hot_loop(scenario: dict, enable_obs: bool) -> dict:
+    """One E1-style transfer run; returns wall time and evidence."""
+    sites = list(scenario["sites"])
+    system = DvPSystem(SystemConfig(
+        sites=sites, seed=scenario["seed"], txn_timeout=15.0,
+        link=LinkConfig(base_delay=2.0, jitter=1.0)))
+    if enable_obs:
+        system.sim.obs.enable()
+    source = CrossSiteTransfers(sites)
+    for site in sites:
+        system.add_item(source.item_of(site), CounterDomain(),
+                        total=scenario["total_per_item"])
+    collector = Collector()
+    driver = WorkloadDriver(
+        system.sim, system, sites, source,
+        WorkloadConfig(arrival_rate=scenario["arrival_rate"],
+                       duration=scenario["duration"]), collector)
+    driver.install()
+    start = time.perf_counter()
+    system.run_until(scenario["duration"])
+    system.run_for(scenario["settle"])
+    wall = time.perf_counter() - start
+    system.auditor.assert_ok()
+    assert collector.results, "hot loop decided no transactions"
+    return {"wall_s": wall,
+            "decided": len(collector.results),
+            "events_emitted": system.sim.obs.emitted}
+
+
+def bench_hot_loop(scenario: dict, repeats: int) -> dict:
+    run_hot_loop(scenario, enable_obs=False)  # warmup
+    runs = {mode: [run_hot_loop(scenario, enable_obs=mode == "enabled")
+                   for _ in range(repeats)]
+            for mode in ("disabled", "enabled")}
+    for mode, results in runs.items():
+        decided = {run["decided"] for run in results}
+        assert len(decided) == 1, f"{mode} runs diverged: {decided}"
+    assert runs["disabled"][0]["events_emitted"] == 0
+    assert runs["enabled"][0]["events_emitted"] > 0
+    disabled = min(run["wall_s"] for run in runs["disabled"])
+    enabled = min(run["wall_s"] for run in runs["enabled"])
+    return {
+        "e1_disabled_s": round(disabled, 3),
+        "e1_enabled_s": round(enabled, 3),
+        "e1_enabled_overhead": round(enabled / disabled - 1.0, 3),
+        "e1_decided": runs["disabled"][0]["decided"],
+        "e1_events_emitted": runs["enabled"][0]["events_emitted"],
+    }
+
+
+def run_bench(scenario: dict | None = None,
+              repeats: int = REPEATS) -> dict:
+    scenario = scenario or SCENARIO
+    payload = {"bench": "micro_obs", "scenario": dict(scenario),
+               "repeats": repeats}
+    payload.update(bench_hot_loop(scenario, repeats))
+    audits = [audit_scenario() for _ in range(repeats)]
+    best = min(audits, key=lambda run: run["scenario_wall_s"])
+    payload["audit_scenario"] = best
+    return payload
+
+
+def check_against_baseline(payload: dict, baseline_path: str) -> str:
+    """Compute the disabled-path overhead vs. BENCH_pr1; '' if absent."""
+    path = pathlib.Path(baseline_path)
+    if not path.exists():
+        return ""
+    baseline = json.loads(path.read_text())
+    before = baseline["micro_audit"]["scenario_wall_s"]
+    after = payload["audit_scenario"]["scenario_wall_s"]
+    overhead = after / before - 1.0
+    payload["disabled_overhead_vs_pr1"] = round(overhead, 3)
+    verdict = "OK" if overhead <= MAX_DISABLED_OVERHEAD else "EXCEEDED"
+    return (f"disabled-path overhead vs {path.name}: "
+            f"{after:.3f}s / {before:.3f}s = {overhead:+.1%} "
+            f"(budget {MAX_DISABLED_OVERHEAD:.0%}) {verdict}")
+
+
+def test_micro_obs_smoke():
+    """CI smoke: tiny loop, both modes, structural assertions only
+    (wall-clock gates live in ``main`` — CI boxes are too noisy)."""
+    payload = run_bench({"sites": ["W", "X", "Y"], "arrival_rate": 0.3,
+                         "duration": 120.0, "total_per_item": 90,
+                         "settle": 40.0, "seed": 11}, repeats=1)
+    assert payload["e1_decided"] > 0
+    assert payload["e1_events_emitted"] > 0
+    assert payload["e1_disabled_s"] > 0
+    assert payload["audit_scenario"]["scenario_committed"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_micro_obs.json")
+    parser.add_argument("--baseline", default="BENCH_pr1.json",
+                        help="prior bench JSON to gate the disabled "
+                             "path against (default BENCH_pr1.json)")
+    args = parser.parse_args(argv)
+    payload = run_bench()
+    verdict = check_against_baseline(payload, args.baseline)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if verdict:
+        print(verdict)
+    overhead = payload.get("disabled_overhead_vs_pr1")
+    if overhead is not None and overhead > MAX_DISABLED_OVERHEAD:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,11 @@ minimal action list; :mod:`artifact` freezes it as a JSON repro.
 See docs/CHAOS.md.
 """
 
-from repro.chaos.artifact import ReproArtifact, default_name
+from repro.chaos.artifact import (
+    TRACE_TAIL_EVENTS,
+    ReproArtifact,
+    default_name,
+)
 from repro.chaos.explore import (
     ExploreReport,
     FailureCase,
@@ -48,6 +52,6 @@ __all__ = [
     "FaultPlan", "GrammarWeights", "HealNet", "LinkFaultWindow",
     "PartitionNet", "PlanError", "ProgressOracle", "RecoverSite",
     "ReproArtifact", "SerialOracle", "ShrinkResult", "SkewTick",
-    "default_name", "default_oracles", "explore", "run_chaos",
-    "run_seed_for", "sample_plan", "shrink",
+    "TRACE_TAIL_EVENTS", "default_name", "default_oracles", "explore",
+    "run_chaos", "run_seed_for", "sample_plan", "shrink",
 ]

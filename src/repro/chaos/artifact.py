@@ -23,6 +23,12 @@ from repro.core import fragments
 
 FORMAT = "dvp-chaos-repro/1"
 
+#: How many trailing trace events a minimized repro embeds. Small on
+#: purpose: the tail is the "what was happening right before the
+#: oracles failed" context, not a full trace — `repro trace` replays
+#: the artifact when the whole timeline is wanted.
+TRACE_TAIL_EVENTS = 64
+
 
 @dataclass
 class ReproArtifact:
@@ -34,6 +40,10 @@ class ReproArtifact:
     injection: str | None = None
     failures: dict[str, list[str]] = field(default_factory=dict)
     note: str = ""
+    #: Last-K structured trace events of the failing run, as canonical
+    #: JSONL lines (see repro.obs.export) — the frozen repro explains
+    #: itself without being re-run. Absent in pre-PR3 artifacts.
+    trace_tail: list[str] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -44,6 +54,7 @@ class ReproArtifact:
             "plan": self.plan.to_dicts(),
             "failures": self.failures,
             "note": self.note,
+            "trace_tail": self.trace_tail,
         }
 
     @classmethod
@@ -58,7 +69,8 @@ class ReproArtifact:
             injection=data.get("injection"),
             failures={oracle: list(messages) for oracle, messages
                       in data.get("failures", {}).items()},
-            note=data.get("note", ""))
+            note=data.get("note", ""),
+            trace_tail=list(data.get("trace_tail", [])))
 
     def write(self, path: "str | pathlib.Path") -> pathlib.Path:
         path = pathlib.Path(path)
@@ -71,13 +83,22 @@ class ReproArtifact:
     def load(cls, path: "str | pathlib.Path") -> "ReproArtifact":
         return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
 
-    def replay(self, oracles: "list | None" = None) -> ChaosResult:
-        """Re-execute the frozen run (arming any recorded injection)."""
+    def replay(self, oracles: "list | None" = None,
+               trace_limit: int = 0,
+               trace_kernel: bool = False) -> ChaosResult:
+        """Re-execute the frozen run (arming any recorded injection).
+
+        Pass ``trace_limit`` to also capture a structured trace tail;
+        with the limit the artifact's own tail was recorded at
+        (:data:`TRACE_TAIL_EVENTS` by default), the replayed
+        ``result.trace_tail`` is byte-identical to ``self.trace_tail``.
+        """
         previous = fragments.test_leak()
         fragments.set_test_leak(self.injection)
         try:
             return run_chaos(self.config, self.plan, self.seed,
-                             oracles=oracles)
+                             oracles=oracles, trace_limit=trace_limit,
+                             trace_kernel=trace_kernel)
         finally:
             fragments.set_test_leak(previous)
 
@@ -90,4 +111,5 @@ def default_name(artifact: ReproArtifact) -> str:
             f"_{len(artifact.plan)}act.json")
 
 
-__all__ = ["ReproArtifact", "default_name", "FORMAT"]
+__all__ = ["ReproArtifact", "default_name", "FORMAT",
+           "TRACE_TAIL_EVENTS"]

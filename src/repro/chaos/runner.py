@@ -34,6 +34,7 @@ from repro.core.transactions import (
     TransferOp,
 )
 from repro.net.link import LinkConfig
+from repro.obs.export import event_to_json
 from repro.sim.random import derive_seed
 
 #: Horizon fractions at which the incremental books are cross-checked
@@ -90,6 +91,10 @@ class ChaosResult:
     failures: dict[str, list[str]] = field(default_factory=dict)
     fingerprint: str = ""
     initial_totals: dict[str, int] = field(default_factory=dict)
+    #: Canonical JSONL lines of the retained trace ring (empty unless
+    #: the run was started with ``trace_limit > 0``). Deterministic:
+    #: same (config, plan, seed, trace_limit) → same lines.
+    trace_tail: list[str] = field(default_factory=list)
 
     @property
     def failed(self) -> bool:
@@ -175,11 +180,20 @@ def _install_probes(system: DvPSystem, config: ChaosConfig,
 
 
 def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
-              oracles: "list | None" = None) -> ChaosResult:
+              oracles: "list | None" = None,
+              trace_limit: int = 0,
+              trace_kernel: bool = False) -> ChaosResult:
     """Execute one ``(config, plan, seed)`` scenario and judge it.
 
     *oracles* defaults to the standard three (auditor, serial,
     progress); pass an explicit list to narrow or extend.
+
+    ``trace_limit > 0`` additionally enables the structured trace bus
+    with a ring of that many events; the retained tail lands in
+    :attr:`ChaosResult.trace_tail` (and the full live bus stays
+    readable on ``result.system.sim.obs``, which `repro trace` renders
+    from). Tracing is observation only — it never perturbs the
+    schedule, so the fingerprint is unchanged by it.
     """
     from repro.chaos.oracles import default_oracles
 
@@ -197,6 +211,9 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
         result.initial_totals[item] = sum(per_site[item].values())
 
     system.sim.enable_trace(limit=0)  # fingerprint only; keep no list
+    if trace_limit > 0:
+        system.sim.obs.enable(ring_limit=trace_limit,
+                              kernel_steps=trace_kernel)
     _build_workload(system, config, result)
     _install_probes(system, config, result)
     plan.compile(system)
@@ -215,6 +232,9 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
     result.wiped_by_crash = sum(site.txns_wiped
                                 for site in system.sites.values())
     result.fingerprint = system.sim.trace_fingerprint()
+    if trace_limit > 0:
+        result.trace_tail = [event_to_json(event)
+                             for event in system.sim.obs.events()]
     for oracle in (default_oracles() if oracles is None else oracles):
         messages = oracle.check(result)
         if messages:

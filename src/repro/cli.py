@@ -6,6 +6,7 @@
     python -m repro run E6 --full --jobs 4    # fan cells over 4 workers
     python -m repro chaos --budget 200 --seed 7   # fault-plan search
     python -m repro chaos --replay tests/repros/<name>.json
+    python -m repro trace tests/repros/<name>.json --site S1 --kind vm.
 
 ``run`` uses the quick presets by default (seconds); ``--full``
 reproduces the tables recorded in EXPERIMENTS.md. Each experiment is a
@@ -18,6 +19,7 @@ instantly; ``--no-cache`` recomputes everything.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.harness import experiments
@@ -67,6 +69,32 @@ def _cmd_chaos(args) -> int:
         print("--budget must be >= 1", file=sys.stderr)
         return 2
     return chaos_harness.main(args)
+
+
+def _cmd_trace(args) -> int:
+    from repro.chaos.artifact import ReproArtifact
+    from repro.obs import TraceFilter, event_to_json, render_timeline
+
+    if args.limit < 1:
+        print("--limit must be >= 1", file=sys.stderr)
+        return 2
+    artifact = ReproArtifact.load(args.artifact)
+    result = artifact.replay(trace_limit=args.limit,
+                             trace_kernel=args.kernel)
+    narrowed = TraceFilter(site=args.site, item=args.item,
+                           txn=args.txn, kind=args.kind)
+    events = list(narrowed.apply(result.system.sim.obs.events()))
+    if args.jsonl:
+        for event in events:
+            print(event_to_json(event))
+        return 0
+    truncated = result.system.sim.obs.truncated
+    title = (f"trace of {args.artifact} "
+             f"(seed={artifact.seed} actions={len(artifact.plan)}"
+             + (f", {truncated} earlier events beyond --limit"
+                if truncated else "") + ")")
+    print(render_timeline(events, title=title))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,12 +153,47 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--duration", type=float, default=80.0)
     chaos_parser.add_argument("--timeout", type=float, default=10.0)
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="replay a chaos repro artifact with structured tracing "
+             "and render its timeline (see docs/OBSERVABILITY.md)")
+    trace_parser.add_argument("artifact",
+                              help="path to a dvp-chaos-repro/1 JSON file")
+    trace_parser.add_argument("--site", default=None,
+                              help="only events mentioning this site "
+                                   "(as site, src, or dst)")
+    trace_parser.add_argument("--item", default=None,
+                              help="only events about this item")
+    trace_parser.add_argument("--txn", default=None,
+                              help="only events for this transaction id "
+                                   "or label")
+    trace_parser.add_argument("--kind", default=None,
+                              help="event-kind prefix filter, e.g. 'vm.' "
+                                   "or 'txn.abort'")
+    trace_parser.add_argument("--jsonl", action="store_true",
+                              help="dump canonical JSONL instead of an "
+                                   "aligned timeline")
+    trace_parser.add_argument("--limit", type=int, default=65536,
+                              metavar="N",
+                              help="ring-buffer retention while "
+                                   "replaying (default 65536)")
+    trace_parser.add_argument("--kernel", action="store_true",
+                              help="include one kernel.step event per "
+                                   "executed simulator event (verbose)")
+    trace_parser.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Timelines and JSONL dumps get piped into head/grep; a closed
+        # pipe is a normal way for the read side to say "enough".
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # conventional 128 + SIGPIPE
 
 
 if __name__ == "__main__":  # pragma: no cover

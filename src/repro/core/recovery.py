@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.obs.events import SiteRecover
 from repro.storage.records import (
     CheckpointRecord,
     CommitRecord,
@@ -133,6 +134,12 @@ def recover_site(site: "DvPSite") -> RecoveryReport:
         report.details["recovered_at"] = site.sim.now
 
     site.vm = vm
+    if site._obs.enabled:
+        site._obs.emit(SiteRecover(
+            t=site.sim.now, site=site.name,
+            redo_applied=report.redo_applied,
+            vm_rebuilt=report.vm_rebuilt,
+            from_checkpoint=report.from_checkpoint))
     return report
 
 

@@ -26,10 +26,16 @@ from repro.core.messages import (
 )
 from repro.core.policies import RedistributionPolicy
 from repro.core.timestamps import LamportClock
-from repro.core.transactions import Transaction, TransactionSpec, TxnResult
+from repro.core.transactions import (
+    Outcome,
+    Transaction,
+    TransactionSpec,
+    TxnResult,
+)
 from repro.core.vm import VmManager
 from repro.net.message import Envelope
 from repro.net.network import Network
+from repro.obs.events import LogForce, SiteCrash
 from repro.sim.kernel import Simulator
 from repro.storage.checkpoint import CheckpointPolicy
 from repro.storage.log import StableLog
@@ -87,6 +93,15 @@ class DvPSite:
         self.policy = policy
         self.config = config or SiteConfig()
         self.on_result = on_result
+
+        # Observability handles (docs/OBSERVABILITY.md): the shared
+        # event bus plus this site's decision-latency histograms.
+        self._obs = sim.obs
+        self.h_decision = {
+            outcome: sim.metrics.histogram(
+                "txn.decision", site=name, outcome=outcome.value)
+            for outcome in (Outcome.COMMITTED, Outcome.ABORTED)
+        }
 
         self.log = StableLog(name)
         self.pages = PageStore(name)
@@ -196,6 +211,9 @@ class DvPSite:
         commit record, so the redo scan would never revisit it).
         """
         lsn = self.log.append(record)
+        if self._obs.enabled:
+            self._obs.emit(LogForce(t=self.sim.now, site=self.name,
+                                    record=type(record).__name__, lsn=lsn))
         self._records_since_checkpoint += 1
         if self.checkpoint_policy.due(self._records_since_checkpoint) \
                 and not self._checkpoint_scheduled:
@@ -410,6 +428,9 @@ class DvPSite:
             return
         self.alive = False
         self.crash_count += 1
+        if self._obs.enabled:
+            self._obs.emit(SiteCrash(t=self.sim.now, site=self.name,
+                                     txns_wiped=len(self.active)))
         self.txns_wiped += len(self.active)
         self.downtime.append([self.sim.now, None])
         self.vm.stop()

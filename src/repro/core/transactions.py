@@ -22,6 +22,14 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.messages import READ_MODE, TRANSFER_MODE, DataRequest
 from repro.core.operators import BoundedDecrement, PartitionableOperator
+from repro.obs.events import (
+    TxnAbort,
+    TxnCommit,
+    TxnLocksGranted,
+    TxnLockWait,
+    TxnRedistribute,
+    TxnSubmit,
+)
 from repro.sim.timers import Timer
 from repro.storage.records import CommitRecord, SetFragment, VmEntry
 
@@ -224,6 +232,10 @@ class Transaction:
 
     def start(self) -> None:
         """Step 1: obtain local locks atomically (per the CC scheme)."""
+        obs = self.site._obs
+        if obs.enabled:
+            obs.emit(TxnSubmit(t=self.site.sim.now, site=self.site.name,
+                               txn=self.id, label=self.spec.label))
         self._timer.start(self._round_length)
         if self.site.cc.broadcast_at_init:
             # Conc2: all requests broadcast together at initiation.
@@ -235,6 +247,9 @@ class Transaction:
                 self.id, items, self._locks_granted)
             if granted:
                 self._locks_granted()
+            elif obs.enabled:
+                obs.emit(TxnLockWait(t=self.site.sim.now,
+                                     site=self.site.name, txn=self.id))
             return
         if not self.site.cc.may_lock_local(self.site, self.ts, items):
             self._abort("timestamp-refused")
@@ -255,6 +270,9 @@ class Transaction:
         if self.site.cc.waits_for_locks:
             self.site.cc.on_lock_granted(self.site, self.ts,
                                          self.spec.items())
+        if self.site._obs.enabled:
+            self.site._obs.emit(TxnLocksGranted(
+                t=self.site.sim.now, site=self.site.name, txn=self.id))
         self.state = _State.GATHERING
         if not self.site.cc.broadcast_at_init:
             self._send_requests(estimate_without_locks=False)
@@ -271,6 +289,7 @@ class Transaction:
 
     def _send_requests(self, estimate_without_locks: bool) -> None:
         """Step 2: request value for every inadequate item."""
+        sent_before = self.requests_sent
         peers = self.site.peers()
         for item in sorted(self.spec.read_items()):
             for peer in peers:
@@ -291,6 +310,10 @@ class Transaction:
                     txn_id=self.id, origin=self.site.name, item=item,
                     mode=TRANSFER_MODE, need=ask, ts=self.ts))
                 self.requests_sent += 1
+        if self.site._obs.enabled and self.requests_sent > sent_before:
+            self.site._obs.emit(TxnRedistribute(
+                t=self.site.sim.now, site=self.site.name, txn=self.id,
+                requests=self.requests_sent - sent_before))
 
     def on_vm_absorbed(self, entry: VmEntry, src: str) -> None:
         """A Vm was accepted into a fragment this transaction holds."""
@@ -457,6 +480,15 @@ class Transaction:
             submitted_at=self.submitted_at, finished_at=self.site.sim.now,
             read_values=read_values, semantic_deltas=deltas,
             requests_sent=self.requests_sent)
+        self.site.h_decision[outcome].observe(self.result.latency)
+        if self.site._obs.enabled:
+            if outcome is Outcome.COMMITTED:
+                self.site._obs.emit(TxnCommit(
+                    t=self.site.sim.now, site=self.site.name, txn=self.id))
+            else:
+                self.site._obs.emit(TxnAbort(
+                    t=self.site.sim.now, site=self.site.name, txn=self.id,
+                    reason=reason))
         self.site.transaction_finished(self)
         if self.on_done is not None:
             self.on_done(self.result)

@@ -24,6 +24,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.core.messages import VmAck, VmTransfer
+from repro.obs.events import (
+    VmAccept,
+    VmAckSent,
+    VmCreate,
+    VmDuplicateDiscard,
+    VmRetransmit,
+    VmTransmit,
+)
 from repro.sim.timers import PeriodicTimer
 from repro.storage.records import VmEntry
 
@@ -48,9 +56,18 @@ class OutgoingChannel:
         return [entry for seq, entry in sorted(self.entries.items())
                 if seq > self.cumulative_acked]
 
-    def ack(self, cumulative: int) -> None:
+    def ack(self, cumulative: int) -> bool:
+        """Advance the cumulative ack; returns True on progress.
+
+        Progress immediately prunes confirmed entries so channel memory
+        (and every ``unacked()`` scan) stays proportional to the
+        *in-flight* Vm count, not to everything ever sent.
+        """
         if cumulative > self.cumulative_acked:
             self.cumulative_acked = cumulative
+            self.prune()
+            return True
+        return False
 
     def prune(self) -> None:
         """Drop entries whose acceptance is confirmed (memory bound)."""
@@ -100,8 +117,18 @@ class VmManager:
         self.on_accepted = on_accepted
         self.outgoing: dict[str, OutgoingChannel] = {}
         self.incoming: dict[str, IncomingChannel] = {}
-        self.acks_sent = 0
-        self.accepts = 0
+        # Observability (docs/OBSERVABILITY.md): typed trace events go
+        # through the simulation's bus; counters live in its metrics
+        # registry (acks_sent / accepts below are views over them).
+        self._obs = sim.obs
+        metrics = sim.metrics
+        self._metrics = metrics
+        self._c_created = metrics.counter("vm.created", site=site)
+        self._c_accepted = metrics.counter("vm.accepted", site=site)
+        self._c_acks = metrics.counter("vm.acks", site=site)
+        self._c_retx: dict[str, object] = {}
+        self._c_dup: dict[str, object] = {}
+        self._h_delivery: dict[str, object] = {}
         self._timer = PeriodicTimer(sim, retransmit_period,
                                     self._retransmit_tick,
                                     label=f"vm-retx:{site}")
@@ -116,16 +143,35 @@ class VmManager:
         self.created_times: dict[tuple[str, int], float] = {}
         self.accept_times: dict[tuple[str, int], float] = {}
 
+    # -- metrics views -------------------------------------------------------
+
+    @property
+    def acks_sent(self) -> int:
+        """Explicit acks sent by this site (registry-backed, survives
+        VmManager rebuilds across recovery)."""
+        return self._c_acks.value
+
+    @property
+    def accepts(self) -> int:
+        """Vm accept records forced at this site (registry-backed)."""
+        return self._c_accepted.value
+
     # -- channel access -----------------------------------------------------
 
     def out_channel(self, dst: str) -> OutgoingChannel:
         if dst not in self.outgoing:
             self.outgoing[dst] = OutgoingChannel(dst)
+            self._c_retx[dst] = self._metrics.counter(
+                "vm.retransmissions", site=self.site, peer=dst)
         return self.outgoing[dst]
 
     def in_channel(self, src: str) -> IncomingChannel:
         if src not in self.incoming:
             self.incoming[src] = IncomingChannel(src)
+            self._c_dup[src] = self._metrics.counter(
+                "vm.duplicates", site=self.site, peer=src)
+            self._h_delivery[src] = self._metrics.histogram(
+                "vm.delivery", src=src, dst=self.site)
         return self.incoming[src]
 
     # -- sender side ----------------------------------------------------------
@@ -146,11 +192,21 @@ class VmManager:
     def register_created(self, entries: Iterator[VmEntry] | list[VmEntry],
                          transmit: bool = True) -> None:
         """Track logged entries as live and (optionally) transmit them."""
+        now = self.sim.now
         for entry in entries:
             channel = self.out_channel(entry.dst)
             channel.entries[entry.channel_seq] = entry
             self.created_times.setdefault((entry.dst, entry.channel_seq),
-                                          self.sim.now)
+                                          now)
+            self._c_created.value += 1
+            self._metrics.mark(("vm", self.site, entry.dst,
+                                entry.channel_seq), now)
+            if self._obs.enabled:
+                self._obs.emit(VmCreate(
+                    t=now, site=self.site, dst=entry.dst,
+                    item=entry.item, seq=entry.channel_seq,
+                    amount=entry.amount, vm_kind=entry.kind,
+                    txn=entry.txn_id))
             if self.on_created is not None:
                 self.on_created(entry)
             if transmit and self._in_window(channel, entry.channel_seq):
@@ -179,7 +235,12 @@ class VmManager:
         return sum(len(channel.unacked())
                    for channel in self.outgoing.values())
 
-    def _transmit(self, entry: VmEntry) -> None:
+    def _transmit(self, entry: VmEntry, retransmit: bool = False) -> None:
+        if self._obs.enabled:
+            event_type = VmRetransmit if retransmit else VmTransmit
+            self._obs.emit(event_type(t=self.sim.now, site=self.site,
+                                      dst=entry.dst,
+                                      seq=entry.channel_seq))
         piggyback = self.in_channel(entry.dst).cumulative_accepted
         self._send(entry.dst, VmTransfer(src=self.site, entry=entry,
                                          piggyback_ack=piggyback,
@@ -192,12 +253,14 @@ class VmManager:
                 if not self._in_window(channel, entry.channel_seq):
                     live += 1  # still live, just outside the window
                     continue
-                if entry.channel_seq <= channel.highest_sent:
+                retransmit = entry.channel_seq <= channel.highest_sent
+                if retransmit:
                     channel.retransmissions += 1
+                    self._c_retx[channel.dst].inc()
                 channel.highest_sent = max(channel.highest_sent,
                                            entry.channel_seq)
                 live += 1
-                self._transmit(entry)
+                self._transmit(entry, retransmit=retransmit)
         if live == 0:
             self._timer.stop()
 
@@ -235,6 +298,11 @@ class VmManager:
             # Duplicate (retransmission of something already absorbed):
             # discard, but re-ack so the sender can stop retransmitting.
             channel.duplicates_discarded += 1
+            self._c_dup[transfer.src].inc()
+            if self._obs.enabled:
+                self._obs.emit(VmDuplicateDiscard(
+                    t=self.sim.now, site=self.site, src=transfer.src,
+                    seq=seq))
             self._send_ack(transfer.src)
             return
         channel.pending[seq] = transfer.entry
@@ -271,8 +339,17 @@ class VmManager:
                 channel.pending[next_seq] = entry
                 channel.cumulative_accepted = next_seq - 1
                 break
-            self.accepts += 1
-            self.accept_times[(src, next_seq)] = self.sim.now
+            now = self.sim.now
+            self._c_accepted.value += 1
+            self.accept_times[(src, next_seq)] = now
+            elapsed = self._metrics.elapsed_since_mark(
+                ("vm", src, self.site, next_seq), now)
+            if elapsed is not None:
+                self._h_delivery[src].observe(elapsed)
+            if self._obs.enabled:
+                self._obs.emit(VmAccept(t=now, site=self.site,
+                                        src=src, item=entry.item,
+                                        seq=next_seq))
             if self.on_accepted is not None:
                 self.on_accepted(src, entry)
             progressed = True
@@ -285,21 +362,30 @@ class VmManager:
             self.drain(src)
 
     def on_ack(self, ack: VmAck) -> None:
-        if ack.src in self.outgoing or ack.cumulative > 0:
-            channel = self.out_channel(ack.src)
-            channel.ack(ack.cumulative)
-            # The window may have slid open: transmit newly admitted
-            # entries right away instead of waiting for the next tick.
-            if self.window is not None:
-                for seq in sorted(channel.entries):
-                    if seq > channel.highest_sent and \
-                            self._in_window(channel, seq):
-                        self._transmit(channel.entries[seq])
-                        channel.highest_sent = seq
+        channel = self.outgoing.get(ack.src)
+        if channel is None:
+            # An ack for a channel this site (per its stable state)
+            # never sent on — e.g. a stale duplicate from before a peer
+            # was rebuilt. Fabricating the channel here would leave
+            # cumulative_acked ahead of next_seq, so the first real
+            # sends would look already-acked and silently fall out of
+            # retransmission. Ignore it; acks carry no value.
+            return
+        channel.ack(ack.cumulative)
+        # The window may have slid open: transmit newly admitted
+        # entries right away instead of waiting for the next tick.
+        if self.window is not None:
+            for seq in sorted(channel.entries):
+                if seq > channel.highest_sent and \
+                        self._in_window(channel, seq):
+                    self._transmit(channel.entries[seq])
+                    channel.highest_sent = seq
 
     def _send_ack(self, dst: str) -> None:
-        self.acks_sent += 1
-        self._send(dst, VmAck(src=self.site,
-                              cumulative=self.in_channel(dst)
-                              .cumulative_accepted,
+        self._c_acks.inc()
+        cumulative = self.in_channel(dst).cumulative_accepted
+        if self._obs.enabled:
+            self._obs.emit(VmAckSent(t=self.sim.now, site=self.site,
+                                     dst=dst, cumulative=cumulative))
+        self._send(dst, VmAck(src=self.site, cumulative=cumulative,
                               ts=self._clock_ts()))

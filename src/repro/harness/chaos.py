@@ -26,6 +26,7 @@ import sys
 from typing import TextIO
 
 from repro.chaos import (
+    TRACE_TAIL_EVENTS,
     ChaosConfig,
     ReproArtifact,
     default_name,
@@ -76,6 +77,11 @@ def explore_main(args, out: "TextIO | None" = None) -> int:
                 failures=result.final.failures if result.final else {},
                 note=f"explore seed={args.seed} plan #{case.index}, "
                      f"shrunk from {len(case.plan)} actions")
+            # Exploration and shrinking run untraced (speed); one extra
+            # replay of the minimal plan captures the trace tail the
+            # artifact embeds so the frozen repro explains itself.
+            traced = artifact.replay(trace_limit=TRACE_TAIL_EVENTS)
+            artifact.trace_tail = traced.trace_tail
             path = artifact.write(
                 f"{args.repro_dir}/{default_name(artifact)}")
             print(f"  repro written: {path}", file=out)
@@ -97,8 +103,15 @@ def replay_main(args, out: "TextIO | None" = None) -> int:
           f"injection={artifact.injection or 'none'}", file=out)
     if artifact.note:
         print(f"  note: {artifact.note}", file=out)
-    result = artifact.replay()
+    trace_limit = TRACE_TAIL_EVENTS if artifact.trace_tail else 0
+    result = artifact.replay(trace_limit=trace_limit)
     print(f"  {result.summary()}", file=out)
+    if artifact.trace_tail:
+        verdict = ("matches recorded"
+                   if result.trace_tail == artifact.trace_tail
+                   else "DIFFERS from recorded")
+        print(f"  trace tail: {len(result.trace_tail)} events, "
+              f"{verdict}", file=out)
     for oracle, messages in sorted(result.failures.items()):
         for message in messages[:3]:
             print(f"  [{oracle}] {message}", file=out)

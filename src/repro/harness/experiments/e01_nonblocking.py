@@ -97,7 +97,7 @@ def _plant_victim(system, params: Params, spec: TransactionSpec,
     victim_at = params.partition_start - params.link_delay - 0.5
 
     def submit() -> None:
-        collector.on_submit()
+        collector.on_submit(at=system.sim.now)
         system.submit(params.sites[0], spec, collector.on_result)
 
     system.sim.at(victim_at, submit, label="victim")

@@ -84,7 +84,7 @@ def _schedule_phase(system, hybrid: HybridSystem, params: Params,
                     label="update")
 
             def arrive(s=site, sp=spec) -> None:
-                collector.on_submit()
+                collector.on_submit(at=system.sim.now)
                 try:
                     hybrid.submit(s, sp, collector.on_result)
                 except Exception:

@@ -89,7 +89,7 @@ def _run_one(params: Params, period: float | None) -> dict:
                 break
 
             def arrive(s=site):
-                sales.on_submit()
+                sales.on_submit(at=system.sim.now)
                 system.submit(s, TransactionSpec(
                     ops=(DecrementOp("stock", rng.randint(1, 3)),),
                     label="sale"), sales.on_result)

@@ -20,9 +20,16 @@ class Collector:
 
     results: list[TxnResult] = field(default_factory=list)
     submitted: int = 0
+    #: Virtual time of each submission that supplied one. Windowed
+    #: views need these: a submission that vanished in a crash has no
+    #: TxnResult, so the only way to count it inside a window is by
+    #: when it was submitted.
+    submit_times: list[float] = field(default_factory=list)
 
-    def on_submit(self) -> None:
+    def on_submit(self, at: float | None = None) -> None:
         self.submitted += 1
+        if at is not None:
+            self.submit_times.append(at)
 
     def on_result(self, result: TxnResult) -> None:
         self.results.append(result)
@@ -68,9 +75,20 @@ class Collector:
         return len(self.committed) / duration
 
     def in_window(self, start: float, end: float) -> "Collector":
-        """Sub-collector of results that were *submitted* in [start, end)."""
+        """Sub-collector of results that were *submitted* in [start, end).
+
+        When per-submission timestamps were recorded, ``submitted`` (and
+        hence ``lost``) reflects the submissions that actually fell in
+        the window — not just the ones that came back. Pre-fix this
+        method set ``submitted = len(results)``, so a windowed view
+        could never report a lost transaction. Without timestamps
+        (legacy callers) it falls back to that old behaviour.
+        """
         window = Collector()
         window.results = [result for result in self.results
                           if start <= result.submitted_at < end]
-        window.submitted = len(window.results)
+        window.submit_times = [at for at in self.submit_times
+                               if start <= at < end]
+        window.submitted = (len(window.submit_times) if self.submit_times
+                            else len(window.results))
         return window

@@ -16,6 +16,9 @@ def _format_cell(value: Any) -> str:
     if isinstance(value, float):
         if math.isnan(value):
             return "-"
+        if math.isinf(value):
+            # int(inf) raises OverflowError; render it symbolically.
+            return "inf" if value > 0 else "-inf"
         if value == int(value) and abs(value) < 1e12:
             return f"{int(value)}"
         return f"{value:.2f}"

@@ -77,6 +77,20 @@ class Link:
     def clear_fault(self) -> None:
         self._fault = None
 
+    # -- observability ------------------------------------------------------
+
+    def counter_reader(self, name: str):
+        """A zero-cost read hook for one of this link's counters.
+
+        The network registers these as gauges in the simulation's
+        metrics registry, so per-link transmission/loss/duplicate
+        counts are queryable without the link paying any per-send
+        bookkeeping beyond the plain attributes it already keeps.
+        """
+        if name not in ("transmissions", "losses", "duplicates"):
+            raise KeyError(f"unknown link counter {name!r}")
+        return lambda: getattr(self, name)
+
     # -- per-transmission fate --------------------------------------------
 
     def draw_delay(self) -> float:

@@ -7,6 +7,12 @@ from typing import Any, Callable, Iterable
 
 from repro.net.link import Link, LinkConfig
 from repro.net.message import Envelope
+from repro.obs.events import (
+    NetDeliver,
+    NetDropLoss,
+    NetDropPartition,
+    NetSend,
+)
 from repro.sim.kernel import Simulator
 
 Handler = Callable[[Envelope], None]
@@ -30,8 +36,15 @@ class Network:
         self._groups: dict[str, int] = {}
         self.sent_counts: Counter[str] = Counter()
         self.delivered_counts: Counter[str] = Counter()
-        self.dropped_partition = 0
-        self.dropped_loss = 0
+        # Drop accounting lives in the simulation's metrics registry
+        # (docs/OBSERVABILITY.md); the dropped_* properties below are
+        # compatibility views over these counters.
+        self._obs = sim.obs
+        self._c_dropped_partition = sim.metrics.counter(
+            "net.dropped.partition")
+        self._c_dropped_loss = sim.metrics.counter("net.dropped.loss")
+        self._c_sent = sim.metrics.counter("net.sent")
+        self._c_delivered = sim.metrics.counter("net.delivered")
 
     # -- topology ---------------------------------------------------------
 
@@ -58,12 +71,21 @@ class Network:
         if key not in self._links:
             rng = self.sim.rng.stream(f"link:{src}->{dst}")
             self._links[key] = Link(src, dst, self.default_link, rng)
+            self._register_link_gauges(self._links[key])
         return self._links[key]
+
+    def _register_link_gauges(self, link: Link) -> None:
+        """Expose the link's own counters through the metrics registry."""
+        for name in ("transmissions", "losses", "duplicates"):
+            self.sim.metrics.gauge(
+                f"link.{name}", link.counter_reader(name),
+                src=link.src, dst=link.dst)
 
     def configure_link(self, src: str, dst: str, config: LinkConfig) -> None:
         """Override one directed link's behaviour."""
         rng = self.sim.rng.stream(f"link:{src}->{dst}")
         self._links[(src, dst)] = Link(src, dst, config, rng)
+        self._register_link_gauges(self._links[(src, dst)])
 
     def configure_all_links(self, config: LinkConfig) -> None:
         """Set the default and reset every existing link to *config*."""
@@ -138,6 +160,11 @@ class Network:
             raise KeyError(f"unknown destination {dst!r}")
         envelope = Envelope(src, dst, payload, sent_at=self.sim.now)
         self.sent_counts[envelope.kind()] += 1
+        self._c_sent.value += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(NetSend(t=self.sim.now, src=src, dst=dst,
+                             payload=envelope.kind()))
         # The link's loss draw is sampled unconditionally (so a
         # partition window never shifts the stream), but a message
         # dropped by both the partition AND the sampled loss is counted
@@ -147,10 +174,16 @@ class Network:
         link = self.link(src, dst)
         lost = link.should_drop()
         if not self.reachable(src, dst):
-            self.dropped_partition += 1
+            self._c_dropped_partition.value += 1
+            if obs.enabled:
+                obs.emit(NetDropPartition(t=self.sim.now, src=src, dst=dst,
+                                          payload=envelope.kind()))
             return
         if lost:
-            self.dropped_loss += 1
+            self._c_dropped_loss.value += 1
+            if obs.enabled:
+                obs.emit(NetDropLoss(t=self.sim.now, src=src, dst=dst,
+                                     payload=envelope.kind()))
             return
         self._schedule_delivery(envelope, link.draw_delay())
         if link.should_duplicate():
@@ -171,9 +204,18 @@ class Network:
             # Re-check reachability at delivery time: a partition that
             # strikes while the message is in flight swallows it.
             if not self.reachable(envelope.src, envelope.dst):
-                self.dropped_partition += 1
+                self._c_dropped_partition.value += 1
+                if self._obs.enabled:
+                    self._obs.emit(NetDropPartition(
+                        t=self.sim.now, src=envelope.src, dst=envelope.dst,
+                        payload=envelope.kind()))
                 return
             self.delivered_counts[envelope.kind()] += 1
+            self._c_delivered.value += 1
+            if self._obs.enabled:
+                self._obs.emit(NetDeliver(
+                    t=self.sim.now, src=envelope.src, dst=envelope.dst,
+                    payload=envelope.kind()))
             self._handlers[envelope.dst](envelope)
 
         self.sim.after(delay, deliver,
@@ -181,6 +223,16 @@ class Network:
                              f"{envelope.src}->{envelope.dst}")
 
     # -- metrics ----------------------------------------------------------
+
+    @property
+    def dropped_partition(self) -> int:
+        """Messages swallowed by a partition (registry-backed view)."""
+        return self._c_dropped_partition.value
+
+    @property
+    def dropped_loss(self) -> int:
+        """Messages lost to the link's sampled loss (registry-backed)."""
+        return self._c_dropped_loss.value
 
     @property
     def total_sent(self) -> int:

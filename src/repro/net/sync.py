@@ -18,6 +18,7 @@ from typing import Any, Iterable
 from repro.net.link import LinkConfig
 from repro.net.message import Envelope
 from repro.net.network import Network
+from repro.obs.events import NetDeliver, NetDropPartition, NetSend
 from repro.sim.kernel import Simulator
 
 
@@ -41,19 +42,36 @@ class SynchronousNetwork(Network):
             raise KeyError(f"unknown destination {dst!r}")
         envelope = Envelope(src, dst, payload, sent_at=self.sim.now)
         self.sent_counts[envelope.kind()] += 1
+        self._c_sent.inc()
+        if self._obs.enabled:
+            self._obs.emit(NetSend(t=self.sim.now, src=src, dst=dst,
+                                   payload=envelope.kind()))
         if not self.reachable(src, dst):
             # Partitions are outside Conc2's assumptions, but the mode is
             # still usable under them so E10 can demonstrate the unsoundness.
-            self.dropped_partition += 1
+            self._c_dropped_partition.inc()
+            if self._obs.enabled:
+                self._obs.emit(NetDropPartition(
+                    t=self.sim.now, src=src, dst=dst,
+                    payload=envelope.kind()))
             return
         self._send_seq += 1
         priority = self._site_rank[src]
 
         def deliver() -> None:
             if not self.reachable(envelope.src, envelope.dst):
-                self.dropped_partition += 1
+                self._c_dropped_partition.inc()
+                if self._obs.enabled:
+                    self._obs.emit(NetDropPartition(
+                        t=self.sim.now, src=envelope.src, dst=envelope.dst,
+                        payload=envelope.kind()))
                 return
             self.delivered_counts[envelope.kind()] += 1
+            self._c_delivered.inc()
+            if self._obs.enabled:
+                self._obs.emit(NetDeliver(
+                    t=self.sim.now, src=envelope.src, dst=envelope.dst,
+                    payload=envelope.kind()))
             self._handlers[envelope.dst](envelope)
 
         # Equal delay keeps send order and arrival order identical;

@@ -1,0 +1,73 @@
+"""Structured observability: typed trace events, metrics, export.
+
+The paper's claims are claims about *instants* — when a Vm came into
+existence, when it was accepted, when a transaction decided, when a
+site crashed — so this package gives every
+:class:`~repro.sim.kernel.Simulator` two always-present companions:
+
+* ``sim.obs`` — a :class:`~repro.obs.bus.TraceBus` publishing the typed
+  events of :mod:`repro.obs.events` (disabled by default; zero hot-path
+  cost until enabled);
+* ``sim.metrics`` — a :class:`~repro.obs.registry.MetricsRegistry` of
+  per-site / per-channel counters and latency histograms.
+
+:mod:`repro.obs.export` streams traces as canonical JSONL;
+:mod:`repro.obs.timeline` filters and renders them for the
+``repro trace`` CLI. See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.bus import DEFAULT_RING_LIMIT, TraceBus
+from repro.obs.events import (
+    EVENT_TYPES,
+    KernelStep,
+    LogForce,
+    NetDeliver,
+    NetDropLoss,
+    NetDropPartition,
+    NetSend,
+    SiteCrash,
+    SiteRecover,
+    TraceEvent,
+    TxnAbort,
+    TxnCommit,
+    TxnLockWait,
+    TxnLocksGranted,
+    TxnRedistribute,
+    TxnSubmit,
+    VmAccept,
+    VmAckSent,
+    VmCreate,
+    VmDuplicateDiscard,
+    VmRetransmit,
+    VmTransmit,
+    event_from_dict,
+)
+from repro.obs.export import (
+    JsonlSink,
+    attach_jsonl,
+    dump_jsonl,
+    dumps_jsonl,
+    event_to_json,
+    read_jsonl,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.obs.timeline import TraceFilter, render_timeline
+
+__all__ = [
+    "DEFAULT_RING_LIMIT", "EVENT_TYPES", "TraceBus", "TraceEvent",
+    "TraceFilter", "render_timeline", "event_from_dict",
+    "KernelStep", "LogForce", "NetDeliver", "NetDropLoss",
+    "NetDropPartition", "NetSend", "SiteCrash", "SiteRecover",
+    "TxnAbort", "TxnCommit", "TxnLockWait", "TxnLocksGranted",
+    "TxnRedistribute", "TxnSubmit", "VmAccept", "VmAckSent", "VmCreate",
+    "VmDuplicateDiscard", "VmRetransmit", "VmTransmit",
+    "CounterMetric", "GaugeMetric", "HistogramMetric", "MetricsRegistry",
+    "JsonlSink", "attach_jsonl", "dump_jsonl", "dumps_jsonl",
+    "event_to_json", "read_jsonl", "write_jsonl",
+]

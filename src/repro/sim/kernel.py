@@ -5,6 +5,9 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Callable
 
+from repro.obs.bus import TraceBus
+from repro.obs.events import KernelStep
+from repro.obs.registry import MetricsRegistry
 from repro.sim.events import Event, EventQueue
 from repro.sim.random import RandomStreams
 
@@ -34,6 +37,12 @@ class Simulator:
         self._trace_hash: "hashlib._Hash | None" = None
         self._trace_limit: int | None = None
         self._steps = 0
+        #: Structured observability (docs/OBSERVABILITY.md): the typed
+        #: event bus and the metrics registry shared by every component
+        #: of this simulation. The bus starts disabled; instrumentation
+        #: guards on ``obs.enabled`` so the default cost is one branch.
+        self.obs = TraceBus()
+        self.metrics = MetricsRegistry()
 
     @property
     def now(self) -> float:
@@ -106,22 +115,25 @@ class Simulator:
         self._steps += 1
         if self._trace is not None:
             self._record(event.time, event.label)
+        if self.obs.kernel_steps:
+            self.obs.emit(KernelStep(t=event.time, label=event.label))
         event.action()
         return True
 
     def run(self, max_steps: int | None = None) -> None:
-        """Run until the queue drains (or *max_steps* events)."""
+        """Run until the queue drains (or at most *max_steps* events)."""
         remaining = max_steps
-        while self.step():
+        while remaining is None or remaining > 0:
+            if not self.step():
+                return
             if remaining is not None:
                 remaining -= 1
-                if remaining <= 0:
-                    return
 
     def run_until(self, time: float) -> None:
         """Run all events with timestamp <= *time*, then set clock there."""
         queue = self._queue
         trace = self._trace
+        obs = self.obs
         while True:
             event = queue.pop_if_due(time)
             if event is None:
@@ -130,5 +142,7 @@ class Simulator:
             self._steps += 1
             if trace is not None:
                 self._record(event.time, event.label)
+            if obs.kernel_steps:
+                obs.emit(KernelStep(t=event.time, label=event.label))
             event.action()
         self._now = max(self._now, time)

@@ -120,7 +120,7 @@ class WorkloadDriver:
     def _make_arrival(self, site: str):
         def arrive() -> None:
             spec = self.source.make_spec(self._rng, site)
-            self.collector.on_submit()
+            self.collector.on_submit(at=self.sim.now)
             try:
                 self.target.submit(site, spec, self.collector.on_result)
             except Exception:

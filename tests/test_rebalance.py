@@ -89,7 +89,9 @@ class TestDaemon:
                 ops=(IncrementOp("x", 30),)))
             system.run_for(5.0)
         for channel in system.sites["A"].vm.outgoing.values():
-            if channel.entries:
+            # next_seq is monotonic evidence of sends; entries alone
+            # would miss channels whose Vm were already acked (pruned).
+            if channel.next_seq > 1:
                 destinations.add(channel.dst)
         assert len(destinations) >= 2
         system.run_for(200.0)

@@ -197,6 +197,47 @@ class TestLoneSurvivor:
         system.run_for(5.0)
         assert results and results[0].committed
 
+    def test_stale_ack_after_recovery_does_not_fabricate_channel(self):
+        """Regression for VmManager.on_ack fabricating channels.
+
+        Schedule: A crashes and recovers (the incarnation churn that
+        produces stale acks in the wild), then a stale duplicate ack
+        from C — a site recovered-A has never sent a Vm to — arrives.
+        Pre-fix, on_ack fabricated an OutgoingChannel for C with
+        cumulative_acked=7 and next_seq=1, so when A later granted
+        value toward C and the first transmission was lost, the entry
+        looked already-acked, the retransmission timer never covered
+        it, and the value vanished (conservation audit fails).
+        """
+        from repro.core.messages import VmAck
+
+        system = build()
+        system.crash("A")
+        system.run_for(1.0)
+        system.recover("A")
+        site_a = system.sites["A"]
+        assert "C" not in site_a.vm.outgoing
+        # The stale duplicate from a previous life of the system.
+        system.network.send("C", "A", VmAck(src="C", cumulative=7, ts=1))
+        system.run_for(2.0)
+        assert "C" not in site_a.vm.outgoing, \
+            "stray ack must not fabricate an outgoing channel"
+        # Now a real grant A->C whose first transmission is lost.
+        system.network.inject_link_fault(
+            "A", "C", LinkConfig(loss_probability=1.0))
+        results = []
+        system.submit("C", TransactionSpec(ops=(DecrementOp("x", 40),)),
+                      results.append)
+        system.run_for(3.0)  # request lands at A; its Vm reply is lost
+        system.network.clear_link_fault("A", "C")
+        system.run_for(60.0)  # retransmission must deliver the value
+        channel = site_a.vm.outgoing.get("C")
+        if channel is not None:
+            assert not channel.unacked(), \
+                "retransmission never recovered the lost grant"
+        assert results and results[0].committed
+        system.auditor.assert_ok()
+
     def test_stale_clock_is_temporary(self):
         # After a crash the recovered clock may trail other sites; any
         # incoming message bumps it (Section 7).

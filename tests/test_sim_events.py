@@ -135,6 +135,15 @@ class TestSimulator:
         sim.run(max_steps=4)
         assert sim.steps == 4
 
+    def test_max_steps_zero_runs_nothing(self):
+        """Regression: run(max_steps=0) used to execute one event (the
+        count was checked only after the first step)."""
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        sim.run(max_steps=0)
+        assert sim.steps == 0
+        assert sim.now == 0.0
+
     def test_step_returns_false_when_drained(self):
         assert Simulator().step() is False
 

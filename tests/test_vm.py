@@ -202,15 +202,50 @@ class TestOutstanding:
         h.flush()
         assert not h.managers["A"].has_outstanding("x")
 
-    def test_prune_drops_acked_entries(self):
+    def test_ack_progress_prunes_acked_entries(self):
+        """Regression: acked entries must leave memory without anyone
+        calling prune() by hand — pre-fix, OutgoingChannel.prune existed
+        but had no caller, so every Vm ever sent stayed resident."""
         h = Harness()
         h.send_value("A", "B", "x", 5)
-        h.flush()
-        h.flush()
+        h.flush()  # transfer delivered
         channel = h.managers["A"].out_channel("B")
-        assert channel.entries
-        channel.prune()
+        assert channel.entries  # unacked: must be retained
+        h.flush()  # ack delivered — prune happens on ack progress
+        assert channel.cumulative_acked == 1
         assert not channel.entries
+
+    def test_long_channel_memory_stays_bounded(self):
+        """Many acked sends must not accumulate entries (memory bound)."""
+        h = Harness()
+        for i in range(200):
+            h.send_value("A", "B", "x", 1)
+            h.flush()
+            h.flush()
+        channel = h.managers["A"].out_channel("B")
+        assert channel.cumulative_acked == 200
+        assert len(channel.entries) == 0
+
+    def test_ack_for_unknown_channel_is_ignored(self):
+        """Regression: a stray ack from a peer A never sent to must not
+        fabricate an OutgoingChannel with cumulative_acked ahead of
+        next_seq — pre-fix that made A's first real sends to that peer
+        look already-acked, so the retransmission timer never covered
+        them and a lost first transmission lost the value forever."""
+        h = Harness(retransmit_period=5.0)
+        manager = h.managers["A"]
+        # Stale duplicate from an old incarnation of some peer C.
+        manager.on_ack(VmAck(src="C", cumulative=7, ts=1))
+        assert "C" not in manager.outgoing
+        # Now A really sends to C; the first transmission is lost.
+        entry = manager.allocate_entry("C", "x", 5, "transfer", "t")
+        manager.register_created([entry])
+        h.wire.clear()  # initial transmission lost
+        assert manager.out_channel("C").unacked(), \
+            "entry must still be outstanding (pre-fix: looked acked)"
+        h.sim.run_until(5.0)  # retransmission timer must re-send it
+        assert any(isinstance(p, VmTransfer) and d == "C"
+                   for _s, d, p in h.wire)
 
     def test_instrumentation_times(self):
         h = Harness()

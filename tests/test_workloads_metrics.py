@@ -221,6 +221,30 @@ class TestCollector:
         window = collector.in_window(0.0, 10.0)
         assert len(window.results) == 1
 
+    def test_window_counts_lost_submissions(self):
+        """Regression: a windowed view must see submissions that never
+        reported back. Pre-fix, in_window set submitted from the result
+        count, so window.lost was identically 0 even when a crash
+        swallowed transactions submitted inside the window."""
+        collector = Collector()
+        collector.on_submit(at=2.0)   # vanished in a crash — no result
+        collector.on_submit(at=4.0)
+        collector.on_result(make_result(1.0, submitted=4.0))
+        collector.on_submit(at=12.0)  # outside the window
+        collector.on_result(make_result(1.0, submitted=12.0))
+        window = collector.in_window(0.0, 10.0)
+        assert window.submitted == 2
+        assert len(window.results) == 1
+        assert window.lost == 1
+
+    def test_window_without_timestamps_keeps_legacy_behaviour(self):
+        collector = Collector()
+        collector.on_submit()  # no timestamp recorded
+        collector.on_result(make_result(1.0, submitted=5.0))
+        window = collector.in_window(0.0, 10.0)
+        assert window.submitted == 1
+        assert window.lost == 0
+
     def test_throughput(self):
         collector = Collector()
         for _ in range(10):
@@ -259,3 +283,13 @@ class TestTable:
         assert "1.23" in rendered
         assert "-" in rendered
         assert " 3" in rendered or "3" in rendered
+
+    def test_infinite_cells_render(self):
+        """Regression: float('inf') cells crashed render() with
+        OverflowError (int(inf) inside _format_cell)."""
+        table = Table("T", ["v"])
+        table.add_row(float("inf"))
+        table.add_row(float("-inf"))
+        rendered = table.render()
+        assert "inf" in rendered
+        assert "-inf" in rendered
