@@ -1,0 +1,101 @@
+"""Bench: the rebalance-policy axis of E6 — does aiming the shipment
+budget beat spraying it?
+
+Runs the three ``_run_rebalance`` cells of
+:mod:`repro.harness.experiments.e06_hotspot` through the cached
+parallel harness (:mod:`repro.harness.parallel`) and records the
+hot-spot commit rates side by side, emitted as
+``BENCH_e06_rebalance.json`` (committed as ``BENCH_pr4.json``). Every
+policy gets an identical shipment budget (same daemon period and
+``max_ship``), so the deltas measure placement quality alone:
+
+* ``demand_weighted_delta`` — commit-rate gain of ``demand-weighted``
+  over ``static-rr``;
+* ``pull_delta`` — commit-rate gain of ``pull`` over ``static-rr``.
+
+``main`` gates on the demand-aware side winning: the best of the two
+demand-aware policies must out-commit ``static-rr``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_e06_rebalance.py \
+        [--out FILE] [--jobs N] [--cache-dir DIR | --no-cache]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.harness.experiments import e06_hotspot
+from repro.harness.parallel import (
+    GridEvaluator,
+    ResultCache,
+    evaluate_cells,
+)
+
+POLICIES = ("static-rr", "demand-weighted", "pull")
+
+
+def run_bench(params: "e06_hotspot.Params | None" = None,
+              jobs: int = 1,
+              cache: ResultCache | None = None) -> dict:
+    params = params or e06_hotspot.Params()
+    evaluator = GridEvaluator(jobs=jobs, cache=cache)
+    cells = [("_run_rebalance", {"params": params, "policy": policy})
+             for policy in POLICIES]
+    results = evaluate_cells(e06_hotspot.EXPERIMENT, cells, evaluator)
+    by_policy = {policy: stats
+                 for policy, stats in zip(POLICIES, results)}
+    static = by_policy["static-rr"]["commit_rate"]
+    payload = {
+        "bench": "e06_rebalance",
+        "budget": {"period": params.rebalance_period,
+                   "max_ship": params.rebalance_max_ship},
+        "policies": by_policy,
+        "demand_weighted_delta": round(
+            by_policy["demand-weighted"]["commit_rate"] - static, 4),
+        "pull_delta": round(by_policy["pull"]["commit_rate"] - static, 4),
+        "cells_cached": evaluator.cache_hits,
+        "cells_computed": evaluator.computed,
+    }
+    payload["demand_aware_wins"] = max(
+        payload["demand_weighted_delta"], payload["pull_delta"]) > 0
+    return payload
+
+
+def test_e06_rebalance_smoke():
+    """CI smoke: full cells (they are cheap — a few hundred txns) and
+    the headline claim: a demand-aware policy beats static-rr at an
+    equal shipment budget."""
+    payload = run_bench()
+    for policy in POLICIES:
+        stats = payload["policies"][policy]
+        assert stats["decided"] > 0
+        assert 0.0 < stats["commit_rate"] <= 1.0
+    assert payload["demand_aware_wins"], payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_e06_rebalance.json")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=".repro-cache")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    payload = run_bench(jobs=args.jobs, cache=cache)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if not payload["demand_aware_wins"]:
+        print("demand-aware policies did not beat static-rr",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,18 @@ from repro.harness.experiments import e12_rebalance as experiment_module
 
 def test_e12(experiment):
     table = experiment(experiment_module)
-    rows = {row[0]: row for row in table.rows}
-    assert "off" in rows
-    daemon_rows = [row for key, row in rows.items() if key != "off"]
+    # Columns: period, policy, commit%, latency, requests, ships, msgs.
+    off_rows = [row for row in table.rows if row[0] == "off"]
+    assert len(off_rows) == 1
+    off = off_rows[0]
+    daemon_rows = [row for row in table.rows if row[0] != "off"]
     assert daemon_rows
+    # The daemon-off row carries no policy and ships nothing.
+    assert off[1] == "-" and off[5] == 0
+    assert all(row[5] > 0 for row in daemon_rows)
     # Rebalancing lifts the sale commit rate...
-    assert max(row[1] for row in daemon_rows) > rows["off"][1]
+    assert max(row[2] for row in daemon_rows) > off[2]
     # ...and cuts the on-demand request traffic.
-    assert min(row[3] for row in daemon_rows) < rows["off"][3]
+    assert min(row[4] for row in daemon_rows) < off[4]
+    # The quick preset sweeps at least two policies at one period.
+    assert len({row[1] for row in daemon_rows}) >= 2

@@ -157,10 +157,13 @@ class ExploreReport:
         return combined.hexdigest()
 
     def describe(self) -> str:
+        rebalance = ("" if self.config.rebalance is None else
+                     f" rebalance={self.config.rebalance}"
+                     f":{self.config.rebalance_period:g}")
         lines = [f"chaos explore: budget={self.budget} "
                  f"seed={self.master_seed} sites={self.config.sites} "
                  f"items={self.config.items} txns={self.config.txns} "
-                 f"duration={self.config.duration:g}",
+                 f"duration={self.config.duration:g}{rebalance}",
                  f"plans run: {self.runs}  failing: {len(self.failures)}"]
         for case in self.failures:
             lines.append(f"  plan #{case.index} (run seed {case.seed}) "

@@ -62,6 +62,12 @@ class ChaosConfig:
     base_delay: float = 1.0
     base_jitter: float = 0.5
     settle: float = 150.0
+    #: Rebalance-daemon policy at every site (None: no daemons). The
+    #: daemons run for the whole fault horizon — the oracles must hold
+    #: with planned redistribution in the schedule — and are stopped at
+    #: settle start so the system can reach quiescence.
+    rebalance: str | None = None
+    rebalance_period: float = 6.0
 
     def site_names(self) -> list[str]:
         return [f"S{index}" for index in range(self.sites)]
@@ -209,6 +215,12 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
     for item in config.item_names():
         system.add_item(item, CounterDomain(), split=per_site[item])
         result.initial_totals[item] = sum(per_site[item].values())
+    daemons = {}
+    if config.rebalance is not None:
+        from repro.core.rebalance import RebalanceConfig, install_rebalancing
+        daemons = install_rebalancing(system, RebalanceConfig(
+            period=config.rebalance_period, high_watermark=1.5,
+            policy=config.rebalance))
 
     system.sim.enable_trace(limit=0)  # fingerprint only; keep no list
     if trace_limit > 0:
@@ -221,7 +233,12 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
     system.run_until(config.duration)
 
     # Settle: lift every scripted fault, revive every site, let
-    # retransmissions land. The oracles require quiescence.
+    # retransmissions land. The oracles require quiescence — so the
+    # daemons stop here too (a push in the settle tail would leave a
+    # fresh Vm unacked at the horizon; everything already in flight
+    # lands and acks normally).
+    for daemon in daemons.values():
+        daemon.stop()
     system.network.heal()
     system.network.clear_all_link_faults()
     for site in system.sites.values():

@@ -147,6 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--repro-dir", default="tests/repros",
                               help="where --shrink writes artifacts "
                                    "(default tests/repros)")
+    chaos_parser.add_argument("--rebalance", default=None,
+                              choices=["static-rr", "demand-weighted",
+                                       "pull"],
+                              help="run a rebalance daemon at every "
+                                   "site with this policy (default: "
+                                   "no daemons)")
+    chaos_parser.add_argument("--rebalance-period", type=float,
+                              default=6.0, metavar="T",
+                              help="daemon tick period in virtual time "
+                                   "(default 6.0)")
     chaos_parser.add_argument("--sites", type=int, default=4)
     chaos_parser.add_argument("--items", type=int, default=2)
     chaos_parser.add_argument("--txns", type=int, default=24)

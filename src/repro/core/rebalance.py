@@ -4,13 +4,26 @@ The base protocol redistributes *on demand*: a site asks for value only
 when a transaction is short (Section 3: "requests other sites ... in
 the case of being unable to proceed with what is available"). The paper
 leaves "the best ways to distribute the data" open (Section 9); this
-module implements the natural proactive complement: a per-site daemon
-that periodically ships surplus above a target level to peers,
-round-robin, as ordinary Rds transactions (a Vm per shipment).
+module implements the proactive complement: a per-site daemon that
+periodically moves value toward where it is wanted, as ordinary Rds
+transactions (a Vm per push, a ``DataRequest`` per pull).
+
+Two movement modes, selected by the policy
+(:mod:`repro.core.redistribution`):
+
+* **push** — a site holding more than ``high_watermark × target`` of an
+  item ships surplus above ``target`` to a live, reachable peer chosen
+  by the policy (round-robin or demand-weighted);
+* **pull** — a site below ``low_watermark × target`` requests the
+  deficit from the peer the policy believes richest, exactly as a
+  short transaction would (the responder's normal Rds honor path
+  answers it; no new message kinds exist).
 
 Rebalancing never changes any item's value — it only moves fragments —
 so it composes with every other mechanism: the conservation auditor,
-recovery, and both CC schemes see nothing unusual.
+recovery, and both CC schemes see nothing unusual. Every push is a
+locked, logged ``[actions, messages]`` force; every pull lands as a
+peer's ordinary ``VmCreateRecord``.
 """
 
 from __future__ import annotations
@@ -18,6 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.core.messages import TRANSFER_MODE, DataRequest
+from repro.core.redistribution import (
+    REBALANCE_POLICIES,
+    make_rebalance_policy,
+)
+from repro.obs.events import RebalPull, RebalShip
 from repro.sim.timers import PeriodicTimer
 from repro.storage.records import SetFragment, VmCreateRecord
 
@@ -27,38 +46,67 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class RebalanceConfig:
-    """When and how much to ship.
+    """When and how much to move.
 
-    A site holding more than ``high_watermark × target`` of an item
-    ships the excess above ``target`` to the next peer in round-robin
-    order. ``target`` defaults to the site's initial quota (captured at
-    daemon start). Only integer-valued (counter-like) domains are
-    rebalanced; other domains are skipped.
+    ``target`` defaults to a site's fragment value when the daemon
+    first sees the item (the initial quota for items present at start;
+    see :meth:`RebalanceDaemon.set_target` for explicit plans). Only
+    integer-valued (counter-like) domains are rebalanced; other domains
+    are skipped.
+
+    ``max_ship`` caps a single push (None: ship the whole surplus —
+    the historical behaviour); with a cap, every policy spends the same
+    worst-case shipment budget per period, which is what makes policy
+    comparisons fair. ``cooldown`` is extra per-item quiet time after a
+    push or pull, on top of the period itself (hysteresis against
+    ping-ponging a fragment that hovers at a watermark).
     """
 
     period: float = 20.0
     high_watermark: float = 2.0
+    low_watermark: float = 0.5
+    policy: str = "static-rr"
+    max_ship: int | None = None
+    cooldown: float = 0.0
 
     def __post_init__(self) -> None:
         if self.period <= 0:
             raise ValueError("period must be positive")
         if self.high_watermark < 1.0:
             raise ValueError("high_watermark must be >= 1")
+        if not 0.0 <= self.low_watermark < 1.0:
+            raise ValueError("low_watermark must be in [0, 1)")
+        if self.policy not in REBALANCE_POLICIES:
+            raise ValueError(
+                f"unknown rebalance policy {self.policy!r}; "
+                f"choose from {sorted(REBALANCE_POLICIES)}")
+        if self.max_ship is not None and self.max_ship < 1:
+            raise ValueError("max_ship must be >= 1 (or None)")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
 
 
 class RebalanceDaemon:
-    """Periodic surplus shipper for one site."""
+    """Periodic redistribution planner for one site."""
 
     def __init__(self, site: "DvPSite",
                  config: RebalanceConfig | None = None) -> None:
         self.site = site
         self.config = config or RebalanceConfig()
+        self.policy = make_rebalance_policy(self.config.policy)
         self.targets: dict[str, int] = {}
         self.shipments = 0
-        self._round_robin = 0
+        self.pulls = 0
+        self.skipped_locked = 0
+        self._quiet_until: dict[str, float] = {}
         self._timer = PeriodicTimer(site.sim, self.config.period,
                                     self.tick,
                                     label=f"rebalance:{site.name}")
+        self._obs = site.sim.obs
+        self._c_ship = site.sim.metrics.counter("rebal.shipments",
+                                                site=site.name)
+        self._c_pull = site.sim.metrics.counter("rebal.pulls",
+                                                site=site.name)
 
     def start(self) -> None:
         """Capture current fragments as targets and begin ticking."""
@@ -75,34 +123,76 @@ class RebalanceDaemon:
     def running(self) -> bool:
         return self._timer.running
 
+    def set_target(self, item: str, target: int) -> None:
+        """Install an explicit per-item target level (a quota plan)."""
+        if target < 0:
+            raise ValueError("target must be >= 0")
+        self.targets[item] = target
+
     def tick(self) -> None:
-        """One pass: ship surplus of every over-target item."""
+        """One pass over every known item: push surplus, pull deficit.
+
+        Items registered after the daemon started are adopted here,
+        with their first-seen value as the default target — a snapshot
+        taken once at start would silently exempt them forever.
+        """
         if not self.site.alive:
             return
-        for item, target in self.targets.items():
-            self._maybe_ship(item, target)
+        for item in list(self.site.fragments.items()):
+            value = self.site.fragments.value(item)
+            if not isinstance(value, int):
+                continue
+            target = self.targets.get(item)
+            if target is None:
+                target = value
+                self.targets[item] = target
+            if self.site.sim.now < self._quiet_until.get(item, 0.0):
+                continue
+            if self.policy.pushes:
+                self._maybe_ship(item, target)
+            if self.policy.pulls:
+                self._maybe_pull(item, target)
+
+    # -- live-topology view ----------------------------------------------
+
+    def _live_peers(self) -> list[str]:
+        """Peers worth planning toward: up and reachable right now.
+
+        Shipping to a crashed or partitioned-away peer is legal but
+        useless — the Vm strands in flight while the local fragment has
+        already been drained. The liveness registry is planning-only
+        input (the transport still never reports failures).
+        """
+        site = self.site
+        return [peer for peer in site.peers()
+                if site.network.is_up(peer)
+                and site.network.reachable(site.name, peer)]
+
+    # -- push -------------------------------------------------------------
 
     def _maybe_ship(self, item: str, target: int) -> None:
         site = self.site
-        if not site.locks.is_free(item):
-            return
         value = site.fragments.value(item)
-        if not isinstance(value, int):
-            return
         threshold = max(target, 1) * self.config.high_watermark
         if value <= threshold:
             return
         surplus = value - target
-        peers = site.peers()
-        if not peers:
+        if self.config.max_ship is not None:
+            surplus = min(surplus, self.config.max_ship)
+        candidates = self._live_peers()
+        if not candidates:
             return
-        peer = peers[self._round_robin % len(peers)]
-        self._round_robin += 1
+        peer = self.policy.push_target(site.demand, item, candidates)
+        if peer is None:
+            return
         # Ship as an Rds transaction: lock, log [actions, messages],
         # apply, send, release — identical discipline to honoring a
-        # request.
+        # request. Peer selection above was a pure peek: the cursor
+        # advances only via on_shipped, after the create record is
+        # forced, so a failed acquisition cannot burn a peer's turn.
         owner = f"rebalance:{site.name}:{self.shipments}"
         if not site.locks.try_acquire_all(owner, {item}):
+            self.skipped_locked += 1
             return
         try:
             ts = site.clock.next()
@@ -117,9 +207,52 @@ class RebalanceDaemon:
                                lsn)
             site.vm.register_created([entry])
             self.shipments += 1
+            self._c_ship.value += 1
+            self._quiet_until[item] = site.sim.now + self.config.cooldown
+            self.policy.on_shipped(peer)
+            if self._obs.enabled:
+                self._obs.emit(RebalShip(
+                    t=site.sim.now, site=site.name, dst=peer, item=item,
+                    amount=surplus, policy=self.policy.name))
         finally:
             site.locks.release_all(owner)
             site.after_lock_release()
+
+    # -- pull -------------------------------------------------------------
+
+    def _maybe_pull(self, item: str, target: int) -> None:
+        site = self.site
+        if target < 1:
+            return
+        value = site.fragments.value(item)
+        if value >= self.config.low_watermark * target:
+            return
+        need = target - value
+        if need <= 0:
+            return
+        candidates = self._live_peers()
+        if not candidates:
+            return
+        peer = self.policy.pull_source(site.demand, item, candidates)
+        if peer is None:
+            return
+        # An ordinary fire-and-forget DataRequest: the peer's normal
+        # Rds honor path (lock, [actions, messages] force, Vm) answers
+        # it, so conservation and recovery see nothing new. No reply is
+        # guaranteed — the next tick re-evaluates from scratch.
+        self.pulls += 1
+        self._c_pull.value += 1
+        request = DataRequest(
+            txn_id=f"rebalance-pull:{site.name}:{self.pulls}",
+            origin=site.name, item=item, mode=TRANSFER_MODE,
+            need=need, ts=site.clock.next())
+        site.send_request(peer, request)
+        self._quiet_until[item] = site.sim.now + self.config.cooldown
+        self.policy.on_pulled(peer)
+        if self._obs.enabled:
+            self._obs.emit(RebalPull(
+                t=site.sim.now, site=site.name, src=peer, item=item,
+                amount=need, policy=self.policy.name))
 
 
 def install_rebalancing(system, config: RebalanceConfig | None = None

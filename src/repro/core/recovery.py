@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.timestamps import encode
 from repro.obs.events import SiteRecover
 from repro.storage.records import (
     CheckpointRecord,
@@ -88,7 +89,13 @@ def recover_site(site: "DvPSite") -> RecoveryReport:
             report.vm_rebuilt += 1
         for key, value in checkpoint.extra:
             if key == "clock":
-                site.clock.observe(value * (1 << 16))  # counter field only
+                # The checkpoint stores the bare Lamport *counter*, but
+                # observe() takes an encoded timestamp and decodes the
+                # counter back out (counter = ts // MAX_SITES). Re-wrap
+                # it with rank 0 — the smallest timestamp carrying this
+                # counter — so the restored counter is exactly the
+                # checkpointed one, never off by the field shift.
+                site.clock.observe(encode(value, 0))
 
     report.start_lsn = start_lsn
 

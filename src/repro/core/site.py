@@ -25,6 +25,7 @@ from repro.core.messages import (
     VmTransfer,
 )
 from repro.core.policies import RedistributionPolicy
+from repro.core.redistribution import DemandTracker
 from repro.core.timestamps import LamportClock
 from repro.core.transactions import (
     Outcome,
@@ -112,6 +113,9 @@ class DvPSite:
         self.observer = None
         self.locks = LockTable()
         self.clock = LamportClock(rank)
+        #: Decayed demand/wealth ledger feeding the rebalance planner
+        #: (repro.core.redistribution). Volatile, like the lock table.
+        self.demand = DemandTracker(sim)
         self.vm = self._new_vm_manager()
         self.checkpoint_policy = CheckpointPolicy(
             self.config.checkpoint_interval)
@@ -154,6 +158,9 @@ class DvPSite:
             self.observer.on_vm_created(self.name, entry)
 
     def _notify_vm_accepted(self, src: str, entry) -> None:
+        # A peer that sends value demonstrably has it — wealth evidence
+        # for the pull policy's "richest reachable peer" estimate.
+        self.demand.note_supply(src, entry.item, entry.amount)
         if self.observer is not None:
             self.observer.on_vm_accepted(self.name, src, entry)
 
@@ -298,6 +305,12 @@ class DvPSite:
         if not self.fragments.knows(request.item):
             self.requests_ignored += 1
             return
+        if request.mode != READ_MODE and request.need is not None:
+            # Whatever we decide below, the request itself is a demand
+            # signal: *origin* wants value of this item. The rebalance
+            # planner pushes toward recently-demanding peers.
+            self.demand.note_remote_demand(request.origin, request.item,
+                                           request.need)
         self._rds_counter += 1
         owner = f"rds:{self.name}:{self._rds_counter}"
         if self.cc.waits_for_locks:
@@ -440,12 +453,15 @@ class DvPSite:
         self.locks.clear()
         self.fragments.reset_timestamps()
         self.clock.reset()
+        self.demand.reset()
+        self.network.note_down(self.name)
 
     def recover(self) -> "RecoveryReport":
         """Independent recovery (Section 7): local log only."""
         from repro.core.recovery import recover_site
         report = recover_site(self)
         self.alive = True
+        self.network.note_up(self.name)
         if self.downtime and self.downtime[-1][1] is None:
             self.downtime[-1][1] = self.sim.now
         self.recovery_reports.append(report)

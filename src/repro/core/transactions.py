@@ -303,6 +303,9 @@ class Transaction:
             deficit = domain.deficit(value, need)
             if domain.is_zero(deficit):
                 continue
+            # Feed the rebalance planner: this site's clients want more
+            # of *item* than its fragment holds (local pressure).
+            self.site.demand.note_shortfall(item, deficit)
             rng = self.site.sim.rng.stream(f"policy:{self.site.name}")
             for peer, ask in self.site.policy.targets(
                     self.site.name, peers, deficit, domain, rng):
@@ -461,6 +464,11 @@ class Transaction:
         self._abort("timeout")
 
     def _abort(self, reason: str) -> None:
+        if reason in ("timeout", "ineffective-decrement"):
+            # A client walked away unserved for lack of local value —
+            # the strongest demand signal the planner gets.
+            for item in self._needs:
+                self.site.demand.note_abort(item)
         self._finish(Outcome.ABORTED, reason, {}, [])
 
     def _finish(self, outcome: Outcome, reason: str,

@@ -42,7 +42,10 @@ MAX_SHRINKS = 5
 def config_from_args(args) -> ChaosConfig:
     return ChaosConfig(sites=args.sites, items=args.items,
                        txns=args.txns, duration=args.duration,
-                       txn_timeout=args.timeout)
+                       txn_timeout=args.timeout,
+                       rebalance=getattr(args, "rebalance", None),
+                       rebalance_period=getattr(args, "rebalance_period",
+                                                6.0))
 
 
 def explore_main(args, out: "TextIO | None" = None) -> int:

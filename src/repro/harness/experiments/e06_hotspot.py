@@ -18,16 +18,30 @@ Reported per n: committed throughput, commit rate, p95 latency.
 Expected shape: lock saturates at 1/work regardless of n; escrow keeps
 committing but pays two WAN round trips per transaction; DvP scales
 linearly with n at local latency.
+
+A second axis (Section 9's open question) compares *rebalance
+policies* on a scarce variant of the hot spot: sellers with skewed
+arrival rates start at a small even quota, a depot holds the marginal
+reserve, and a daemon drips that reserve out on a fixed budget
+(``max_ship`` per period — identical for every policy). ``static-rr``
+sprays the budget uniformly; ``demand-weighted`` aims it at the
+sellers whose shortfall requests the depot has seen; ``pull`` lets
+short sellers fetch their deficit themselves. On-demand rescue is
+deliberately slow (``ask-few(1)``, round trip longer than the
+timeout) so pre-positioning — not rescue — decides the commit rate.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.baselines.common import BaselineConfig
 from repro.baselines.escrow import CentralCounterSystem
 from repro.core.domain import CounterDomain
+from repro.core.rebalance import RebalanceConfig, install_rebalancing
 from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import DecrementOp, TransactionSpec
 from repro.harness.parallel import evaluate_cells
 from repro.metrics.collector import Collector
 from repro.metrics.tables import Table
@@ -48,10 +62,23 @@ class Params:
     initial: int = 10_000_000       # effectively infinite: isolate locking
     seed: int = 67
     link_delay: float = 2.0
+    # Rebalance-policy axis: scarce stock, skewed sellers, equal
+    # shipment budget (same period and max_ship for every policy).
+    rebalance_policies: list[str] = field(
+        default_factory=lambda: ["static-rr", "demand-weighted", "pull"])
+    rebalance_sellers: int = 5
+    rebalance_quota: int = 15       # even per-seller starting stock
+    rebalance_reserve: int = 125    # marginal stock held at the depot
+    rebalance_rate: float = 0.025   # per unit of seller weight
+    rebalance_period: float = 8.0
+    rebalance_max_ship: int = 5
+    rebalance_timeout: float = 8.0
+    rebalance_link_delay: float = 6.0  # rescue round trip > timeout
 
     @classmethod
     def quick(cls) -> "Params":
-        return cls(site_counts=[1, 4], duration=200.0)
+        return cls(site_counts=[1, 4], duration=200.0,
+                   rebalance_policies=["static-rr", "demand-weighted"])
 
 
 def _site_names(count: int) -> list[str]:
@@ -94,6 +121,68 @@ def _run_dvp(params: Params, count: int) -> dict:
     return _stats(collector, params)
 
 
+def _seller_weights(count: int) -> list[int]:
+    """Skewed demand: the first sellers are hot (8:4:2:1:1:... )."""
+    return [2 ** max(0, 3 - index) for index in range(count)]
+
+
+def _run_rebalance(params: Params, policy: str) -> dict:
+    """Scarce-stock hot spot under one rebalance policy.
+
+    Every policy gets the same shipment budget — identical period and
+    ``max_ship`` — so commit-rate differences come purely from *where*
+    the budget is aimed. Sellers start at an even quota (their
+    auto-captured target) that the skewed demand outruns at the hot
+    end; the depot's reserve, dripped out ``max_ship`` per period, is
+    the only slack, and the link delay makes the on-demand path too
+    slow to save a waiting sale (its grants arrive after the abort, so
+    misplaced stock corrects only sluggishly). A policy has to observe
+    the skew to beat round-robin here.
+    """
+    depot = "D"
+    sellers = [f"S{index}" for index in range(params.rebalance_sellers)]
+    system = DvPSystem(SystemConfig(
+        sites=[depot] + sellers, seed=params.seed,
+        txn_timeout=params.rebalance_timeout,
+        policy="ask-few", policy_kwargs={"fanout": 1},
+        link=LinkConfig(base_delay=params.rebalance_link_delay)))
+    split = {depot: params.rebalance_reserve}
+    split.update({seller: params.rebalance_quota for seller in sellers})
+    system.add_item("hot", CounterDomain(), split=split)
+    # Watermarks: sellers (target = their quota, captured at start)
+    # hold what they are given rather than bouncing it onward; the
+    # depot (target 0) pushes its whole reserve out, budgeted.
+    daemons = install_rebalancing(system, RebalanceConfig(
+        period=params.rebalance_period, high_watermark=1.5,
+        low_watermark=0.6, policy=policy,
+        max_ship=params.rebalance_max_ship))
+    daemons[depot].set_target("hot", 0)
+    collector = Collector()
+    rng = random.Random(params.seed)
+    for seller, weight in zip(sellers, _seller_weights(len(sellers))):
+        rate = params.rebalance_rate * weight
+        time = 0.0
+        while True:
+            time += rng.expovariate(rate)
+            if time >= params.duration:
+                break
+            amount = rng.randint(1, 2)
+
+            def arrive(seller=seller, amount=amount) -> None:
+                collector.on_submit(at=system.sim.now)
+                system.submit(seller, TransactionSpec(
+                    ops=(DecrementOp("hot", amount),), label="sale"),
+                    collector.on_result)
+
+            system.sim.at(time, arrive)
+    system.run_for(params.duration + params.rebalance_timeout + 60.0)
+    system.auditor.assert_ok()
+    stats = _stats(collector, params)
+    stats["shipments"] = sum(daemon.shipments + daemon.pulls
+                             for daemon in daemons.values())
+    return stats
+
+
 def _stats(collector: Collector, params: Params) -> dict:
     summary = collector.latency_summary()
     return {
@@ -117,6 +206,9 @@ def cells(params: Params | None = None) -> list[tuple[str, dict]]:
                 grid.append(("_run_central",
                              {"params": params, "count": count,
                               "mode": name}))
+    for policy in params.rebalance_policies:
+        grid.append(("_run_rebalance",
+                     {"params": params, "policy": policy}))
     return grid
 
 
@@ -136,8 +228,19 @@ def run(params: Params | None = None, evaluate=None) -> Table:
                           round(stats["throughput"], 3),
                           round(100 * stats["commit_rate"], 1),
                           round(stats["p95"], 1))
+    weights = _seller_weights(params.rebalance_sellers)
+    offered = round(params.rebalance_rate * sum(weights), 3)
+    for policy in params.rebalance_policies:
+        stats = next(results)
+        table.add_row(1 + params.rebalance_sellers, f"DvP+{policy}",
+                      offered, round(stats["throughput"], 3),
+                      round(100 * stats["commit_rate"], 1),
+                      round(stats["p95"], 1))
     table.add_note("lock saturates near 1/work; escrow overlaps clients "
                    "but pays central round trips; DvP commits locally.")
+    table.add_note("DvP+<policy> rows: scarce depot stock, skewed "
+                   "sellers, equal shipment budget — demand-aware "
+                   "policies out-commit static-rr by aiming it.")
     return table
 
 

@@ -10,9 +10,12 @@ asks.
 Design: a lopsided steady state — cancellations (increments) land at
 one "returns depot" site while sales (decrements) happen everywhere —
 so value continually pools where it is not needed. Swept: daemon off /
-daemon at several periods. Reported: sales commit rate, mean sale
-latency, demand requests sent, total messages (the daemon's shipments
-are not free), and the conservation verdict.
+daemon at several periods × rebalance policy (``static-rr`` sprays
+surplus round-robin, ``demand-weighted`` aims it at the sites whose
+shortfall requests the depot has seen, ``pull`` has short sites fetch
+the deficit themselves). Reported: sales commit rate, mean sale
+latency, demand requests sent, daemon shipments+pulls, total messages
+(the daemon's traffic is not free), and the conservation verdict.
 
 Expected shape: without rebalancing, sales at non-depot sites starve
 (every one needs an on-demand gather); with it, commit rate and latency
@@ -47,6 +50,8 @@ class Params:
         default_factory=lambda: ["depot", "S1", "S2", "S3"])
     periods: list[float | None] = field(
         default_factory=lambda: [None, 40.0, 20.0, 10.0])
+    policies: list[str] = field(
+        default_factory=lambda: ["static-rr", "demand-weighted", "pull"])
     duration: float = 400.0
     sale_rate: float = 0.05        # per non-depot site
     return_rate: float = 0.25      # at the depot
@@ -56,18 +61,21 @@ class Params:
 
     @classmethod
     def quick(cls) -> "Params":
-        return cls(periods=[None, 20.0], duration=200.0)
+        return cls(periods=[None, 20.0], duration=200.0,
+                   policies=["static-rr", "demand-weighted"])
 
 
-def _run_one(params: Params, period: float | None) -> dict:
+def _run_one(params: Params, period: float | None,
+             policy: str = "static-rr") -> dict:
     system = DvPSystem(SystemConfig(
         sites=list(params.sites), seed=params.seed,
         txn_timeout=params.txn_timeout,
         link=LinkConfig(base_delay=1.0, jitter=0.5)))
     system.add_item("stock", CounterDomain(), total=params.total)
+    daemons = {}
     if period is not None:
-        install_rebalancing(system, RebalanceConfig(
-            period=period, high_watermark=1.5))
+        daemons = install_rebalancing(system, RebalanceConfig(
+            period=period, high_watermark=1.5, policy=policy))
     sales = Collector()
     rng = random.Random(params.seed)
     depot = params.sites[0]
@@ -105,15 +113,29 @@ def _run_one(params: Params, period: float | None) -> dict:
         "latency": (sum(latencies) / len(latencies)
                     if latencies else float("nan")),
         "requests": requests,
+        "ships": sum(daemon.shipments + daemon.pulls
+                     for daemon in daemons.values()),
         "messages": system.network.total_sent,
     }
 
 
+def _grid(params: Params) -> list[tuple[float | None, str]]:
+    """(period, policy) rows: one daemon-off row, then the sweep."""
+    rows: list[tuple[float | None, str]] = []
+    for period in params.periods:
+        if period is None:
+            rows.append((None, "static-rr"))
+        else:
+            rows.extend((period, policy) for policy in params.policies)
+    return rows
+
+
 def cells(params: Params | None = None) -> list[tuple[str, dict]]:
-    """The independent daemon-period grid behind E12."""
+    """The independent (period × policy) grid behind E12."""
     params = params or Params()
-    return [("_run_one", {"params": params, "period": period})
-            for period in params.periods]
+    return [("_run_one", {"params": params, "period": period,
+                          "policy": policy})
+            for period, policy in _grid(params)]
 
 
 def run(params: Params | None = None, evaluate=None) -> Table:
@@ -121,16 +143,20 @@ def run(params: Params | None = None, evaluate=None) -> Table:
     results = iter(evaluate_cells(EXPERIMENT, cells(params), evaluate))
     table = Table(
         "E12: proactive rebalancing under a returns-depot imbalance",
-        ["daemon period", "sale commit%", "sale mean latency",
-         "demand requests", "total msgs"])
-    for period in params.periods:
+        ["daemon period", "policy", "sale commit%", "sale mean latency",
+         "demand requests", "ships", "total msgs"])
+    for period, policy in _grid(params):
         stats = next(results)
         table.add_row("off" if period is None else period,
+                      "-" if period is None else policy,
                       round(100 * stats["commit"], 1),
                       round(stats["latency"], 2),
-                      stats["requests"], stats["messages"])
+                      stats["requests"], stats["ships"],
+                      stats["messages"])
     table.add_note("value pools at the depot; the daemon ships surplus "
-                   "before sales have to go asking for it.")
+                   "before sales have to go asking for it. "
+                   "demand-weighted aims the same shipments at the "
+                   "sites that have been short; pull fetches on need.")
     return table
 
 

@@ -34,6 +34,7 @@ class Network:
         self._handlers: dict[str, Handler] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self._groups: dict[str, int] = {}
+        self._up: dict[str, bool] = {}
         self.sent_counts: Counter[str] = Counter()
         self.delivered_counts: Counter[str] = Counter()
         # Drop accounting lives in the simulation's metrics registry
@@ -58,6 +59,7 @@ class Network:
             raise ValueError(f"site {name!r} already registered")
         self._handlers[name] = handler
         self._groups[name] = 0
+        self._up[name] = True
 
     def replace_handler(self, name: str, handler: Handler) -> None:
         """Swap a site's delivery handler (used when a site restarts)."""
@@ -116,6 +118,29 @@ class Network:
         for link in self._links.values():
             link.clear_fault()
             link.restore()
+
+    # -- liveness registry -------------------------------------------------
+
+    def note_down(self, name: str) -> None:
+        """Record that *name* crashed (called from the site itself).
+
+        Planning-only input: the transport semantics are unchanged — a
+        message to a down site is still silently dropped, never
+        reported. Consumers (the rebalance daemon) use it to avoid
+        *choosing* to ship value at a site known to be dead, standing
+        in for the failure detector a deployment would run out of band.
+        """
+        if name in self._handlers:
+            self._up[name] = False
+
+    def note_up(self, name: str) -> None:
+        """Record that *name* recovered."""
+        if name in self._handlers:
+            self._up[name] = True
+
+    def is_up(self, name: str) -> bool:
+        """Last known liveness of *name* (unknown sites default to up)."""
+        return self._up.get(name, True)
 
     # -- partitions -------------------------------------------------------
 

@@ -13,6 +13,9 @@ The event families mirror the protocol's moving parts:
   redistribution requests, commit, abort (with reason);
 * **vm** — Section 4.2's virtual messages: create, transmit,
   retransmit, duplicate discard, accept, ack;
+* **rebal** — planned redistribution: a surplus push (Vm created by
+  the daemon) or a deficit pull request, with the policy that chose
+  the peer;
 * **net** — physical transmissions: send, partition drop, loss drop,
   deliver;
 * **site** — crash, recover, log force;
@@ -193,6 +196,32 @@ class NetDeliver(TraceEvent):
     payload: str = ""
 
 
+# -- rebalancing (planned redistribution) ------------------------------------
+
+@dataclass(frozen=True)
+class RebalShip(TraceEvent):
+    """The rebalance daemon pushed surplus toward *dst* (Vm created)."""
+
+    kind: ClassVar[str] = "rebal.ship"
+    site: str = ""
+    dst: str = ""
+    item: str = ""
+    amount: Any = None
+    policy: str = ""
+
+
+@dataclass(frozen=True)
+class RebalPull(TraceEvent):
+    """The rebalance daemon requested deficit value from *src*."""
+
+    kind: ClassVar[str] = "rebal.pull"
+    site: str = ""
+    src: str = ""
+    item: str = ""
+    amount: Any = None
+    policy: str = ""
+
+
 # -- site --------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -237,6 +266,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         TxnCommit, TxnAbort,
         VmCreate, VmTransmit, VmRetransmit, VmDuplicateDiscard,
         VmAccept, VmAckSent,
+        RebalShip, RebalPull,
         NetSend, NetDropPartition, NetDropLoss, NetDeliver,
         SiteCrash, SiteRecover, LogForce,
         KernelStep,

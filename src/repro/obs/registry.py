@@ -26,6 +26,8 @@ name                    labels                   meaning
 ``vm.duplicates``       ``site, peer``           receiver-side discards
 ``vm.delivery``         ``src, dst`` (histogram) create→accept latency
 ``txn.decision``        ``site, outcome`` (hist) submit→decision latency
+``rebal.shipments``     ``site``                 daemon surplus pushes
+``rebal.pulls``         ``site``                 daemon deficit pulls
 ======================  =======================  =========================
 
 Histograms keep raw samples and summarize lazily through

@@ -1,0 +1,129 @@
+"""Chaos coverage for rebalancing: the three oracles must hold with
+daemons running through the fault horizon, and — just as important —
+they must still *detect* real bugs when the buggy writes come from
+daemon traffic rather than transactions."""
+
+import glob
+import os
+
+import pytest
+
+from repro.chaos import ChaosConfig, FaultPlan, ReproArtifact, explore
+from repro.cli import build_parser
+from repro.core import fragments
+from repro.core.domain import CounterDomain
+from repro.core.rebalance import RebalanceConfig, RebalanceDaemon
+from repro.core.system import DvPSystem, SystemConfig
+from repro.harness.chaos import config_from_args
+from repro.net.link import LinkConfig
+
+REPRO_DIR = os.path.join(os.path.dirname(__file__), "repros")
+
+
+class TestExploreWithDaemons:
+    def test_demand_weighted_budget_200_green(self):
+        """The acceptance run: full budget, daemons at every site."""
+        report = explore(ChaosConfig(rebalance="demand-weighted"),
+                         budget=200, master_seed=7)
+        assert report.ok, report.describe()
+
+    @pytest.mark.parametrize("policy,seed", [("static-rr", 19),
+                                             ("pull", 23)])
+    def test_other_policies_green(self, policy, seed):
+        report = explore(ChaosConfig(rebalance=policy), budget=40,
+                         master_seed=seed)
+        assert report.ok, report.describe()
+
+    def test_exploration_deterministic_with_daemons(self):
+        """Daemons draw no randomness: same inputs, same digest."""
+        config = ChaosConfig(rebalance="pull", rebalance_period=4.0)
+        first = explore(config, budget=6, master_seed=11)
+        second = explore(config, budget=6, master_seed=11)
+        assert first.digest() == second.digest()
+
+    def test_describe_names_the_policy(self):
+        config = ChaosConfig(rebalance="pull", rebalance_period=4.0)
+        report = explore(config, budget=1, master_seed=3)
+        assert "rebalance=pull:4" in report.describe().splitlines()[0]
+        plain = explore(ChaosConfig(), budget=1, master_seed=3)
+        assert "rebalance" not in plain.describe()
+
+
+class TestOraclesSeeDaemonTraffic:
+    def test_auditor_catches_leak_in_daemon_write(self):
+        """Arm the write leak so the *only* leaky write is a daemon
+        push — the auditor must still convict. This is the proof that
+        planned redistribution runs inside the audited envelope rather
+        than beside it."""
+        system = DvPSystem(SystemConfig(
+            sites=["A", "B", "C"], seed=5, txn_timeout=10.0,
+            link=LinkConfig(base_delay=1.0)))
+        # Leak disarmed during setup: add_item's writes stay honest.
+        system.add_item("x", CounterDomain(), split={"A": 40, "B": 1,
+                                                     "C": 1})
+        daemon = RebalanceDaemon(system.sites["A"],
+                                 RebalanceConfig(period=5.0,
+                                                 high_watermark=1.5))
+        daemon.start()
+        daemon.set_target("x", 10)
+        assert system.auditor.all_ok()
+        fragments.set_test_leak("write")
+        try:
+            system.run_for(30.0)
+        finally:
+            fragments.set_test_leak(None)
+        assert daemon.shipments >= 1
+        reports = [r for r in system.auditor.check_all() if not r.ok]
+        assert reports, \
+            "auditor missed a conservation leak carried by daemon traffic"
+
+
+class TestPlumbing:
+    def test_cli_args_reach_chaos_config(self):
+        args = build_parser().parse_args(
+            ["chaos", "--budget", "5", "--rebalance", "pull",
+             "--rebalance-period", "3.5"])
+        config = config_from_args(args)
+        assert config.rebalance == "pull"
+        assert config.rebalance_period == 3.5
+
+    def test_cli_default_is_no_daemons(self):
+        args = build_parser().parse_args(["chaos", "--budget", "5"])
+        assert config_from_args(args).rebalance is None
+
+    def test_cli_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["chaos", "--rebalance", "no-such-policy"])
+
+    def test_old_config_dicts_still_load(self):
+        """Artifacts frozen before the rebalance axis predate the two
+        new keys; from_dict must default them, not crash."""
+        data = ChaosConfig().to_dict()
+        del data["rebalance"]
+        del data["rebalance_period"]
+        config = ChaosConfig.from_dict(data)
+        assert config.rebalance is None
+        assert config.rebalance_period == 6.0
+
+    def test_round_trip_preserves_rebalance(self):
+        config = ChaosConfig(rebalance="demand-weighted",
+                             rebalance_period=2.5)
+        assert ChaosConfig.from_dict(config.to_dict()) == config
+
+
+class TestCommittedRepros:
+    def test_rebalance_artifacts_still_reproduce(self):
+        """Every committed artifact frozen with daemons running must
+        replay to the same oracle verdict (under its recorded
+        injection)."""
+        paths = []
+        for path in sorted(glob.glob(os.path.join(REPRO_DIR, "*.json"))):
+            artifact = ReproArtifact.load(path)
+            if artifact.config.rebalance is not None:
+                paths.append((path, artifact))
+        assert paths, "no rebalance-enabled repro artifact is committed"
+        for path, artifact in paths:
+            result = artifact.replay()  # arms the recorded injection
+            assert result.failed_oracles == tuple(
+                sorted(artifact.failures)), path
