@@ -160,10 +160,12 @@ class ExploreReport:
         rebalance = ("" if self.config.rebalance is None else
                      f" rebalance={self.config.rebalance}"
                      f":{self.config.rebalance_period:g}")
+        bundling = ("" if self.config.bundle_flush_delay is None else
+                    f" bundle={self.config.bundle_flush_delay:g}")
         lines = [f"chaos explore: budget={self.budget} "
                  f"seed={self.master_seed} sites={self.config.sites} "
                  f"items={self.config.items} txns={self.config.txns} "
-                 f"duration={self.config.duration:g}{rebalance}",
+                 f"duration={self.config.duration:g}{rebalance}{bundling}",
                  f"plans run: {self.runs}  failing: {len(self.failures)}"]
         for case in self.failures:
             lines.append(f"  plan #{case.index} (run seed {case.seed}) "

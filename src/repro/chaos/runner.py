@@ -68,6 +68,12 @@ class ChaosConfig:
     #: settle start so the system can reach quiescence.
     rebalance: str | None = None
     rebalance_period: float = 6.0
+    #: Transport bundling flush window (None: bundling off, the seed
+    #: transport). When set, the system runs the bundled outbox + ack
+    #: coalescing — replay determinism and every oracle must hold with
+    #: batching exactly as without it. Old recorded artifacts carry no
+    #: key and load as None.
+    bundle_flush_delay: float | None = None
 
     def site_names(self) -> list[str]:
         return [f"S{index}" for index in range(self.sites)]
@@ -203,13 +209,18 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
     """
     from repro.chaos.oracles import default_oracles
 
+    bundling = None
+    if config.bundle_flush_delay is not None:
+        from repro.net.outbox import BundlingConfig
+        bundling = BundlingConfig(flush_delay=config.bundle_flush_delay)
     system = DvPSystem(SystemConfig(
         sites=config.site_names(), seed=seed,
         txn_timeout=config.txn_timeout,
         retransmit_period=config.retransmit_period,
         checkpoint_interval=config.checkpoint_interval,
         link=LinkConfig(base_delay=config.base_delay,
-                        jitter=config.base_jitter)))
+                        jitter=config.base_jitter),
+        bundling=bundling))
     result = ChaosResult(config=config, plan=plan, seed=seed, system=system)
     per_site = _quota_split(config, seed)
     for item in config.item_names():

@@ -157,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
                               default=6.0, metavar="T",
                               help="daemon tick period in virtual time "
                                    "(default 6.0)")
+    chaos_parser.add_argument("--bundle-delay", type=float, default=None,
+                              metavar="T",
+                              help="enable transport bundling with this "
+                                   "flush window in virtual time "
+                                   "(default: bundling off)")
     chaos_parser.add_argument("--sites", type=int, default=4)
     chaos_parser.add_argument("--items", type=int, default=2)
     chaos_parser.add_argument("--txns", type=int, default=24)

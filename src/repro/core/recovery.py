@@ -85,7 +85,7 @@ def recover_site(site: "DvPSite") -> RecoveryReport:
             channel = vm.out_channel(dst)
             channel.next_seq = max(channel.next_seq, next_seq)
         for entry in checkpoint.outgoing_unacked:
-            vm.out_channel(entry.dst).entries[entry.channel_seq] = entry
+            vm.restore_entry(entry)
             report.vm_rebuilt += 1
         for key, value in checkpoint.extra:
             if key == "clock":
@@ -117,8 +117,8 @@ def recover_site(site: "DvPSite") -> RecoveryReport:
                 max_ts_seen = max(max_ts_seen, action.ts)
         if isinstance(record, VmCreateRecord):
             for entry in record.messages:
+                vm.restore_entry(entry)
                 channel = vm.out_channel(entry.dst)
-                channel.entries[entry.channel_seq] = entry
                 channel.next_seq = max(channel.next_seq,
                                        entry.channel_seq + 1)
                 report.vm_rebuilt += 1

@@ -72,6 +72,10 @@ class SiteConfig:
     read_freeze: float | None = None
     #: Sliding-window cap on in-flight Vm per channel (None = unbounded).
     vm_window: int | None = None
+    #: Suppress explicit VmAcks already carried by a same-instant data
+    #: message's piggyback field (see VmManager). Off by default; the
+    #: system façade turns it on together with transport bundling.
+    coalesce_acks: bool = False
 
 
 class SiteDown(RuntimeError):
@@ -151,7 +155,8 @@ class DvPSite:
             retransmit_period=self.config.retransmit_period,
             window=self.config.vm_window,
             on_created=self._notify_vm_created,
-            on_accepted=self._notify_vm_accepted)
+            on_accepted=self._notify_vm_accepted,
+            coalesce_acks=self.config.coalesce_acks)
 
     def _notify_vm_created(self, entry) -> None:
         if self.observer is not None:
@@ -236,6 +241,11 @@ class DvPSite:
 
     def write_checkpoint(self) -> int:
         """Append a fuzzy checkpoint of fragments and channel state."""
+        if __debug__:
+            # Periodic drift check: the VmManager's O(1) live-Vm
+            # counters must agree with the full channel scan the
+            # checkpoint is about to take anyway.
+            self.vm.check_accounting()
         snapshot = sorted(self.fragments.snapshot().items(),
                           key=lambda kv: kv[0])
         record = CheckpointRecord(

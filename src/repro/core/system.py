@@ -26,6 +26,7 @@ from repro.core.site import DvPSite, SiteConfig
 from repro.core.transactions import Transaction, TransactionSpec, TxnResult
 from repro.net.link import LinkConfig
 from repro.net.network import Network
+from repro.net.outbox import BundlingConfig
 from repro.net.sync import SynchronousNetwork
 from repro.sim.kernel import Simulator
 
@@ -49,6 +50,13 @@ class SystemConfig:
     #: Conc2 requires the order-synchronous network; None = follow cc.
     synchronous: bool | None = None
     sync_delay: float = 1.0
+    #: Transport bundling (repro.net.outbox): None = off, the seed
+    #: behaviour. The synchronous network ignores it (it models a
+    #: lossless ordered broadcast, there is nothing to coalesce).
+    bundling: BundlingConfig | None = None
+    #: Suppress explicit acks covered by same-instant piggybacks; None
+    #: follows ``bundling`` (on when bundling is on).
+    coalesce_acks: bool | None = None
 
     def __post_init__(self) -> None:
         if len(set(self.sites)) != len(self.sites):
@@ -70,7 +78,8 @@ class DvPSystem:
             self.network: Network = SynchronousNetwork(
                 self.sim, delay=self.config.sync_delay)
         else:
-            self.network = Network(self.sim, self.config.link)
+            self.network = Network(self.sim, self.config.link,
+                                   bundling=self.config.bundling)
         self.cc = make_cc(self.config.cc)
         self.policy = make_policy(self.config.policy,
                                   **self.config.policy_kwargs)
@@ -82,7 +91,10 @@ class DvPSystem:
             checkpoint_interval=self.config.checkpoint_interval,
             request_retries=self.config.request_retries,
             read_freeze=self.config.read_freeze,
-            vm_window=self.config.vm_window)
+            vm_window=self.config.vm_window,
+            coalesce_acks=(self.config.coalesce_acks
+                           if self.config.coalesce_acks is not None
+                           else self.config.bundling is not None))
         self.sites: dict[str, DvPSite] = {}
         for rank, name in enumerate(self.config.sites):
             self.sites[name] = DvPSite(

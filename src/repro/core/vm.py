@@ -20,8 +20,9 @@ be sent again anyway".
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.core.messages import VmAck, VmTransfer
 from repro.obs.events import (
@@ -34,6 +35,10 @@ from repro.obs.events import (
 )
 from repro.sim.timers import PeriodicTimer
 from repro.storage.records import VmEntry
+
+#: Shared empty result for no-progress acks (avoids one allocation per
+#: piggybacked ack repeat).
+_NO_ENTRIES: tuple = ()
 
 
 @dataclass
@@ -56,23 +61,29 @@ class OutgoingChannel:
         return [entry for seq, entry in sorted(self.entries.items())
                 if seq > self.cumulative_acked]
 
-    def ack(self, cumulative: int) -> bool:
-        """Advance the cumulative ack; returns True on progress.
+    def ack(self, cumulative: int) -> Sequence[VmEntry]:
+        """Advance the cumulative ack; returns entries newly confirmed.
 
         Progress immediately prunes confirmed entries so channel memory
         (and every ``unacked()`` scan) stays proportional to the
-        *in-flight* Vm count, not to everything ever sent.
+        *in-flight* Vm count, not to everything ever sent. The pruned
+        entries come back so the owning manager can keep its O(1)
+        live-Vm counters exact without rescanning. No-progress acks
+        (piggyback repeats) are the common case, hence the shared empty
+        result.
         """
-        if cumulative > self.cumulative_acked:
-            self.cumulative_acked = cumulative
-            self.prune()
-            return True
-        return False
+        if cumulative <= self.cumulative_acked:
+            return _NO_ENTRIES
+        self.cumulative_acked = cumulative
+        return self.prune()
 
-    def prune(self) -> None:
-        """Drop entries whose acceptance is confirmed (memory bound)."""
-        for seq in [s for s in self.entries if s <= self.cumulative_acked]:
-            del self.entries[seq]
+    def prune(self) -> list[VmEntry]:
+        """Drop (and return) entries whose acceptance is confirmed."""
+        pruned = [entry for seq, entry in self.entries.items()
+                  if seq <= self.cumulative_acked]
+        for entry in pruned:
+            del self.entries[entry.channel_seq]
+        return pruned
 
 
 @dataclass
@@ -94,13 +105,22 @@ class VmManager:
                  retransmit_period: float = 5.0,
                  window: int | None = None,
                  on_created: Callable[[VmEntry], None] | None = None,
-                 on_accepted: Callable[[str, VmEntry], None] | None = None
-                 ) -> None:
+                 on_accepted: Callable[[str, VmEntry], None] | None = None,
+                 coalesce_acks: bool = False) -> None:
         """*window* caps in-flight (sent-but-unacked) messages per
         channel — the classic sliding window of the "common schemes
         (e.g. 'window' protocols)" Section 4.2 leans on. None means
         unbounded. Entries beyond the window stay live Vm (logged,
-        conserved) and transmit as acks open the window."""
+        conserved) and transmit as acks open the window.
+
+        *coalesce_acks* defers explicit acks to the end of the current
+        kernel event and suppresses them entirely when a data message to
+        the same peer already left this instant carrying the same (or a
+        newer) cumulative value in its piggyback field — the paper's
+        "piggybacked onto regular messages" discipline taken literally.
+        Correctness is unaffected either way: acks are idempotent
+        hints, and the retransmission timer covers any that are elided
+        or lost."""
         if window is not None and window < 1:
             raise ValueError("window must be >= 1 (or None)")
         self.site = site
@@ -126,6 +146,8 @@ class VmManager:
         self._c_created = metrics.counter("vm.created", site=site)
         self._c_accepted = metrics.counter("vm.accepted", site=site)
         self._c_acks = metrics.counter("vm.acks", site=site)
+        self._c_suppressed = metrics.counter("vm.acks_suppressed",
+                                             site=site)
         self._c_retx: dict[str, object] = {}
         self._c_dup: dict[str, object] = {}
         self._h_delivery: dict[str, object] = {}
@@ -135,9 +157,25 @@ class VmManager:
         # Accepting a Vm can complete a transaction, whose lock release
         # pokes the channels again from inside the accept callback; the
         # work queue below makes drain re-entrancy safe (a nested call
-        # only enqueues, the outer loop does the absorbing).
-        self._drain_queue: list[str] = []
+        # only enqueues, the outer loop does the absorbing). A deque:
+        # chaos runs push hundreds of channels through one drain, and a
+        # list-head pop(0) is O(queue) each time.
+        self._drain_queue: deque[str] = deque()
         self._draining = False
+        # O(1) live-Vm accounting. Invariant: every OutgoingChannel's
+        # ``entries`` dict holds exactly its live (unacked) entries —
+        # ack() prunes confirmed ones on the spot, and recovery rebuilds
+        # channels from cumulative_acked=0 — so these counters mirror
+        # the old O(live Vm) unacked() scans exactly. check_accounting()
+        # cross-checks the two under __debug__.
+        self._live_total = 0
+        self._live_by_item: dict[str, int] = {}
+        # Ack coalescing state (see __init__ docstring): peers owed an
+        # explicit ack this instant, and the (time, cumulative) of the
+        # last piggyback that left toward each peer.
+        self._coalesce = coalesce_acks
+        self._ack_due: dict[str, None] = {}
+        self._piggyback_sent: dict[str, tuple[float, int]] = {}
         # Instrumentation for the delivery-latency experiment (E3):
         # when each outgoing Vm was created / each incoming accepted.
         self.created_times: dict[tuple[str, int], float] = {}
@@ -196,6 +234,7 @@ class VmManager:
         for entry in entries:
             channel = self.out_channel(entry.dst)
             channel.entries[entry.channel_seq] = entry
+            self._note_live(entry)
             self.created_times.setdefault((entry.dst, entry.channel_seq),
                                           now)
             self._c_created.value += 1
@@ -221,19 +260,59 @@ class VmManager:
         return seq <= channel.cumulative_acked + self.window
 
     def has_outstanding(self, item: str) -> bool:
-        """Any live (unaccepted) outgoing Vm for *item*?
+        """Any live (unaccepted) outgoing Vm for *item*? O(1).
 
         This is the guard on honoring read requests: a full read must
         observe every fragment, so a site that still owes value
         elsewhere cannot claim its fragment is the whole local story.
         """
-        return any(entry.item == item
-                   for channel in self.outgoing.values()
-                   for entry in channel.unacked())
+        return self._live_by_item.get(item, 0) > 0
 
     def unacked_count(self) -> int:
-        return sum(len(channel.unacked())
-                   for channel in self.outgoing.values())
+        """Live (unacked) outgoing Vm across all channels. O(1)."""
+        return self._live_total
+
+    def _note_live(self, entry: VmEntry) -> None:
+        self._live_total += 1
+        self._live_by_item[entry.item] = \
+            self._live_by_item.get(entry.item, 0) + 1
+
+    def _note_dead(self, entry: VmEntry) -> None:
+        self._live_total -= 1
+        remaining = self._live_by_item[entry.item] - 1
+        if remaining:
+            self._live_by_item[entry.item] = remaining
+        else:
+            del self._live_by_item[entry.item]
+
+    def restore_entry(self, entry: VmEntry) -> None:
+        """Re-insert a live entry during recovery (no create record —
+        the Vm already exists). Duplicate sequence numbers are ignored:
+        a checkpointed entry and its create record describe the same
+        Vm."""
+        channel = self.out_channel(entry.dst)
+        if entry.channel_seq in channel.entries:
+            return
+        channel.entries[entry.channel_seq] = entry
+        self._note_live(entry)
+
+    def check_accounting(self) -> bool:
+        """Cross-check the O(1) counters against the full channel scan.
+
+        Called from tests and (under ``__debug__``) at checkpoint time;
+        raises AssertionError on any drift.
+        """
+        total = sum(len(channel.unacked())
+                    for channel in self.outgoing.values())
+        assert total == self._live_total, \
+            f"live total drifted: scan={total} counter={self._live_total}"
+        by_item: dict[str, int] = {}
+        for channel in self.outgoing.values():
+            for entry in channel.unacked():
+                by_item[entry.item] = by_item.get(entry.item, 0) + 1
+        assert by_item == self._live_by_item, \
+            f"per-item drifted: scan={by_item} counter={self._live_by_item}"
+        return True
 
     def _transmit(self, entry: VmEntry, retransmit: bool = False) -> None:
         if self._obs.enabled:
@@ -242,6 +321,7 @@ class VmManager:
                                       dst=entry.dst,
                                       seq=entry.channel_seq))
         piggyback = self.in_channel(entry.dst).cumulative_accepted
+        self._piggyback_sent[entry.dst] = (self.sim.now, piggyback)
         self._send(entry.dst, VmTransfer(src=self.site, entry=entry,
                                          piggyback_ack=piggyback,
                                          ts=self._clock_ts()))
@@ -265,7 +345,7 @@ class VmManager:
             self._timer.stop()
 
     def _ensure_timer(self) -> None:
-        if self.unacked_count() > 0:
+        if self._live_total > 0:
             self._timer.start()
 
     def tick_now(self) -> None:
@@ -316,7 +396,7 @@ class VmManager:
         self._draining = True
         try:
             while self._drain_queue:
-                self._drain_one(self._drain_queue.pop(0))
+                self._drain_one(self._drain_queue.popleft())
         finally:
             self._draining = False
 
@@ -357,9 +437,15 @@ class VmManager:
             self._send_ack(src)
 
     def poke(self) -> None:
-        """Retry pending heads on every channel (called on lock release)."""
+        """Retry pending heads on every channel (called on lock release).
+
+        Channels with nothing buffered are skipped: draining them is a
+        no-op (no accept, no ack), and lock releases are frequent
+        enough that the empty drains dominated the poke cost.
+        """
         for src in list(self.incoming):
-            self.drain(src)
+            if self.incoming[src].pending:
+                self.drain(src)
 
     def on_ack(self, ack: VmAck) -> None:
         channel = self.outgoing.get(ack.src)
@@ -371,7 +457,8 @@ class VmManager:
             # sends would look already-acked and silently fall out of
             # retransmission. Ignore it; acks carry no value.
             return
-        channel.ack(ack.cumulative)
+        for entry in channel.ack(ack.cumulative):
+            self._note_dead(entry)
         # The window may have slid open: transmit newly admitted
         # entries right away instead of waiting for the next tick.
         if self.window is not None:
@@ -382,6 +469,38 @@ class VmManager:
                     channel.highest_sent = seq
 
     def _send_ack(self, dst: str) -> None:
+        """Send — or, with coalescing on, schedule — an explicit ack.
+
+        Coalescing defers the send to the end of the current kernel
+        event so it can see every message the event produced: if a data
+        message to *dst* already left this instant with an up-to-date
+        piggyback, the explicit ack is redundant and suppressed.
+        Outside event execution (defer unavailable) the ack goes out
+        immediately, exactly as without coalescing.
+        """
+        if self._coalesce:
+            if self._ack_due:
+                # A flush for this instant is already queued.
+                self._ack_due[dst] = None
+                return
+            if self.sim.defer_to_event_end(self._flush_acks):
+                self._ack_due[dst] = None
+                return
+        self._send_ack_now(dst)
+
+    def _flush_acks(self) -> None:
+        due = list(self._ack_due)
+        self._ack_due.clear()
+        now = self.sim.now
+        for dst in due:
+            record = self._piggyback_sent.get(dst)
+            if record is not None and record[0] == now and \
+                    record[1] >= self.in_channel(dst).cumulative_accepted:
+                self._c_suppressed.inc()
+                continue
+            self._send_ack_now(dst)
+
+    def _send_ack_now(self, dst: str) -> None:
         self._c_acks.inc()
         cumulative = self.in_channel(dst).cumulative_accepted
         if self._obs.enabled:

@@ -45,7 +45,9 @@ def config_from_args(args) -> ChaosConfig:
                        txn_timeout=args.timeout,
                        rebalance=getattr(args, "rebalance", None),
                        rebalance_period=getattr(args, "rebalance_period",
-                                                6.0))
+                                                6.0),
+                       bundle_flush_delay=getattr(args, "bundle_delay",
+                                                  None))
 
 
 def explore_main(args, out: "TextIO | None" = None) -> int:

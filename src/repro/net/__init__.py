@@ -10,14 +10,18 @@ observe timeouts.
 from repro.net.link import Link, LinkConfig
 from repro.net.message import Envelope
 from repro.net.network import Network
+from repro.net.outbox import BundleEnvelope, BundlingConfig, Outbox
 from repro.net.partitions import PartitionSchedule, PartitionScheduler
 from repro.net.sync import SynchronousNetwork
 
 __all__ = [
+    "BundleEnvelope",
+    "BundlingConfig",
     "Envelope",
     "Link",
     "LinkConfig",
     "Network",
+    "Outbox",
     "PartitionSchedule",
     "PartitionScheduler",
     "SynchronousNetwork",

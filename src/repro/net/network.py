@@ -7,7 +7,9 @@ from typing import Any, Callable, Iterable
 
 from repro.net.link import Link, LinkConfig
 from repro.net.message import Envelope
+from repro.net.outbox import BundlingConfig, Outbox, _OpenBundle
 from repro.obs.events import (
+    NetBundle,
     NetDeliver,
     NetDropLoss,
     NetDropPartition,
@@ -28,7 +30,8 @@ class Network:
     """
 
     def __init__(self, sim: Simulator,
-                 default_link: LinkConfig | None = None) -> None:
+                 default_link: LinkConfig | None = None,
+                 bundling: BundlingConfig | None = None) -> None:
         self.sim = sim
         self.default_link = default_link or LinkConfig()
         self._handlers: dict[str, Handler] = {}
@@ -46,6 +49,22 @@ class Network:
         self._c_dropped_loss = sim.metrics.counter("net.dropped.loss")
         self._c_sent = sim.metrics.counter("net.sent")
         self._c_delivered = sim.metrics.counter("net.delivered")
+        # Transport bundling (repro.net.outbox): when enabled, send()
+        # routes payloads through per-(src, dst) outboxes and net.sent /
+        # net.delivered count real envelopes (bundles) while the
+        # per-kind sent_counts / delivered_counts keep counting logical
+        # payloads. None (the default) keeps the one-envelope-per-send
+        # path below byte-for-byte untouched.
+        self._outbox: Outbox | None = None
+        self._h_bundle_size = None
+        if bundling is not None:
+            self._outbox = Outbox(self, bundling)
+            self._h_bundle_size = sim.metrics.histogram("net.bundle.size")
+
+    @property
+    def bundling(self) -> BundlingConfig | None:
+        """The active bundling configuration (None = disabled)."""
+        return self._outbox.config if self._outbox is not None else None
 
     # -- topology ---------------------------------------------------------
 
@@ -183,6 +202,14 @@ class Network:
         """Send *payload* from *src* to *dst*; may silently drop it."""
         if dst not in self._handlers:
             raise KeyError(f"unknown destination {dst!r}")
+        if self._outbox is not None:
+            kind = type(payload).__name__
+            self.sent_counts[kind] += 1
+            if self._obs.enabled:
+                self._obs.emit(NetSend(t=self.sim.now, src=src, dst=dst,
+                                       payload=kind))
+            self._outbox.enqueue(src, dst, payload)
+            return
         envelope = Envelope(src, dst, payload, sent_at=self.sim.now)
         self.sent_counts[envelope.kind()] += 1
         self._c_sent.value += 1
@@ -246,6 +273,43 @@ class Network:
         self.sim.after(delay, deliver,
                        label=f"deliver:{envelope.kind()}:"
                              f"{envelope.src}->{envelope.dst}")
+
+    def _deliver_bundle(self, open_bundle: _OpenBundle,
+                        duplicated: bool) -> None:
+        """Deliver one bundle: unpack payloads in enqueue order.
+
+        The bundle is one real envelope, so the in-flight partition
+        check swallows it whole (one ``net.dropped.partition``) and a
+        successful delivery counts once in ``net.delivered``; the
+        receiver's handler then runs once per logical payload, each
+        wrapped in a fresh :class:`Envelope` stamped with the bundle's
+        open time.
+        """
+        src, dst = open_bundle.src, open_bundle.dst
+        payloads = open_bundle.bundle.payloads
+        now = self.sim.now
+        if not self.reachable(src, dst):
+            self._c_dropped_partition.value += 1
+            if self._obs.enabled:
+                self._obs.emit(NetDropPartition(
+                    t=now, src=src, dst=dst,
+                    payload=type(payloads[0]).__name__))
+            return
+        self._c_delivered.value += 1
+        self._h_bundle_size.observe(len(payloads))
+        if self._obs.enabled:
+            self._obs.emit(NetBundle(t=now, src=src, dst=dst,
+                                     size=len(payloads)))
+        handler = self._handlers[dst]
+        for payload in payloads:
+            kind = type(payload).__name__
+            self.delivered_counts[kind] += 1
+            if self._obs.enabled:
+                self._obs.emit(NetDeliver(t=now, src=src, dst=dst,
+                                          payload=kind))
+            handler(Envelope(src, dst, payload,
+                             sent_at=open_bundle.opened_at,
+                             duplicated=duplicated))
 
     # -- metrics ----------------------------------------------------------
 

@@ -196,6 +196,21 @@ class NetDeliver(TraceEvent):
     payload: str = ""
 
 
+@dataclass(frozen=True)
+class NetBundle(TraceEvent):
+    """One real envelope delivered carrying *size* coalesced payloads.
+
+    Emitted only when transport bundling is enabled (see
+    ``repro.net.outbox``); ``size`` counts the logical payloads the
+    bundle carried — 1 means no same-window partner was found.
+    """
+
+    kind: ClassVar[str] = "net.bundle"
+    src: str = ""
+    dst: str = ""
+    size: int = 0
+
+
 # -- rebalancing (planned redistribution) ------------------------------------
 
 @dataclass(frozen=True)
@@ -267,7 +282,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         VmCreate, VmTransmit, VmRetransmit, VmDuplicateDiscard,
         VmAccept, VmAckSent,
         RebalShip, RebalPull,
-        NetSend, NetDropPartition, NetDropLoss, NetDeliver,
+        NetSend, NetDropPartition, NetDropLoss, NetDeliver, NetBundle,
         SiteCrash, SiteRecover, LogForce,
         KernelStep,
     )

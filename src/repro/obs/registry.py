@@ -18,10 +18,12 @@ name                    labels                   meaning
 ``net.delivered``       —                        handler invocations
 ``net.dropped.partition`` —                      partition drops
 ``net.dropped.loss``    —                        sampled-loss drops
+``net.bundle.size``     — (histogram)            payloads per bundle
 ``link.*``              ``src, dst``             per-link gauges
 ``vm.created``          ``site``                 Vm create records
 ``vm.accepted``         ``site``                 Vm accept records
 ``vm.acks``             ``site``                 explicit acks sent
+``vm.acks_suppressed``  ``site``                 acks elided by piggyback
 ``vm.retransmissions``  ``site, peer``           re-sends of live Vm
 ``vm.duplicates``       ``site, peer``           receiver-side discards
 ``vm.delivery``         ``src, dst`` (histogram) create→accept latency

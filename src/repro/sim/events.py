@@ -4,6 +4,14 @@ Events are ordered by ``(time, priority, seq)``. The monotonically
 increasing ``seq`` makes ordering total and stable: two events scheduled
 for the same instant fire in scheduling order, which keeps runs
 deterministic regardless of heap internals.
+
+Cancellation is lazy (a cancelled event stays in the heap until it
+reaches the top), but the queue tracks how many cancelled entries it is
+carrying and *compacts* the heap when they dominate: long chaos runs
+cancel thousands of timers (retransmission timers stopped by acks,
+transaction timeouts disarmed by commits), and without compaction every
+``push``/``pop`` keeps paying the log factor of a heap mostly full of
+corpses.
 """
 
 from __future__ import annotations
@@ -12,8 +20,12 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+#: Compaction triggers only above this heap size (small heaps never pay
+#: a rebuild) and only when cancelled entries are the majority.
+COMPACT_MIN_HEAP = 1024
 
-@dataclass(order=True, slots=True)
+
+@dataclass(slots=True)
 class Event:
     """A pending callback, comparable by (time, priority, seq).
 
@@ -29,26 +41,54 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Back-reference to the owning queue while the event sits in its
+    #: heap (cleared on removal) — lets cancel() keep the queue's
+    #: cancelled-entry count exact without a scan.
+    queue: "EventQueue | None" = field(compare=False, default=None,
+                                       repr=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        # Hand-written instead of dataclass(order=True): the generated
+        # method builds two field tuples per comparison, and heap
+        # sift-up/down makes this the hottest function in long runs.
+        # Times almost always differ, so the common path is one load
+        # and one float compare per side.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._note_cancel()
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` with lazy cancellation."""
+    """Min-heap of :class:`Event` with lazy cancellation + compaction."""
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = 0
+        self._cancelled = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of *live* (non-cancelled) pending events.
+
+        Counting live events keeps the answer stable across lazy
+        discards and heap compaction.
+        """
+        return len(self._heap) - self._cancelled
 
     def push(self, time: float, action: Callable[[], Any], priority: int = 0,
              label: str = "") -> Event:
         """Enqueue *action* to run at *time*; return a cancellable handle."""
-        event = Event(time, priority, self._seq, action, label)
+        event = Event(time, priority, self._seq, action, label, queue=self)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
@@ -57,14 +97,17 @@ class EventQueue:
         """Remove and return the earliest live event, or None if drained."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.queue = None
             if not event.cancelled:
                 return event
+            self._cancelled -= 1
         return None
 
     def peek_time(self) -> float | None:
         """Time of the earliest live event without removing it."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).queue = None
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
@@ -81,12 +124,40 @@ class EventQueue:
         while heap:
             event = heap[0]
             if event.cancelled:
-                heapq.heappop(heap)
+                heapq.heappop(heap).queue = None
+                self._cancelled -= 1
                 continue
             if event.time > time:
                 return None
-            return heapq.heappop(heap)
+            event = heapq.heappop(heap)
+            event.queue = None
+            return event
         return None
 
+    # -- compaction --------------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """One in-heap event was cancelled; compact if corpses dominate."""
+        self._cancelled += 1
+        if (len(self._heap) > COMPACT_MIN_HEAP
+                and self._cancelled * 2 > len(self._heap)):
+            self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        O(live) — heapify over the survivors. Order is preserved
+        because events compare by ``(time, priority, seq)``, which is
+        independent of heap layout.
+        """
+        survivors = [event for event in self._heap if not event.cancelled]
+        self._heap = survivors
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+
     def clear(self) -> None:
+        for event in self._heap:
+            event.queue = None
         self._heap.clear()
+        self._cancelled = 0

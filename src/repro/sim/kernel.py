@@ -37,6 +37,12 @@ class Simulator:
         self._trace_hash: "hashlib._Hash | None" = None
         self._trace_limit: int | None = None
         self._steps = 0
+        # End-of-event hooks (see defer_to_event_end): callbacks that
+        # must observe everything the current event did — e.g. the Vm
+        # ack coalescer deciding whether an explicit ack is redundant
+        # because a transfer to the same peer already left this instant.
+        self._executing = False
+        self._event_end: list[Callable[[], Any]] = []
         #: Structured observability (docs/OBSERVABILITY.md): the typed
         #: event bus and the metrics registry shared by every component
         #: of this simulation. The bus starts disabled; instrumentation
@@ -56,8 +62,30 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of live (non-cancelled) events still queued."""
         return len(self._queue)
+
+    def defer_to_event_end(self, action: Callable[[], Any]) -> bool:
+        """Run *action* right after the current event's callback returns.
+
+        Returns True when an event is executing (the action is queued
+        and will run at the same virtual instant, before the next event
+        pops — later deferrals from inside a deferred action are also
+        honored, FIFO). Returns False outside the event loop, in which
+        case the caller must fall back to acting immediately.
+        """
+        if not self._executing:
+            return False
+        self._event_end.append(action)
+        return True
+
+    def _drain_event_end(self) -> None:
+        queue = self._event_end
+        index = 0
+        while index < len(queue):
+            queue[index]()
+            index += 1
+        queue.clear()
 
     def enable_trace(self, limit: int | None = None) -> None:
         """Record (time, label) for every executed event.
@@ -117,7 +145,14 @@ class Simulator:
             self._record(event.time, event.label)
         if self.obs.kernel_steps:
             self.obs.emit(KernelStep(t=event.time, label=event.label))
-        event.action()
+        self._executing = True
+        try:
+            event.action()
+            if self._event_end:
+                self._drain_event_end()
+        finally:
+            self._executing = False
+            self._event_end.clear()
         return True
 
     def run(self, max_steps: int | None = None) -> None:
@@ -130,19 +165,33 @@ class Simulator:
                 remaining -= 1
 
     def run_until(self, time: float) -> None:
-        """Run all events with timestamp <= *time*, then set clock there."""
+        """Run all events with timestamp <= *time*, then set clock there.
+
+        ``_executing`` is flipped once for the whole loop, not per
+        event: between one action returning (and its end-of-event hooks
+        draining) and the next pop, no foreign code runs, so the flag
+        is still truthful for defer_to_event_end.
+        """
         queue = self._queue
         trace = self._trace
         obs = self.obs
-        while True:
-            event = queue.pop_if_due(time)
-            if event is None:
-                break
-            self._now = event.time
-            self._steps += 1
-            if trace is not None:
-                self._record(event.time, event.label)
-            if obs.kernel_steps:
-                obs.emit(KernelStep(t=event.time, label=event.label))
-            event.action()
+        event_end = self._event_end
+        self._executing = True
+        try:
+            while True:
+                event = queue.pop_if_due(time)
+                if event is None:
+                    break
+                self._now = event.time
+                self._steps += 1
+                if trace is not None:
+                    self._record(event.time, event.label)
+                if obs.kernel_steps:
+                    obs.emit(KernelStep(t=event.time, label=event.label))
+                event.action()
+                if event_end:
+                    self._drain_event_end()
+        finally:
+            self._executing = False
+            event_end.clear()
         self._now = max(self._now, time)

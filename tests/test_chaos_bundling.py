@@ -1,0 +1,117 @@
+"""Chaos coverage for the bundled transport: replay determinism and all
+three oracles must hold with batching on — coalescing changes *when*
+payloads travel and in what envelopes, never what the system decides —
+and the committed batching-on repro artifact must stay reproducible."""
+
+import glob
+import os
+
+import pytest
+
+from repro.chaos import ChaosConfig, FaultPlan, ReproArtifact, explore
+from repro.chaos.runner import run_chaos
+from repro.cli import build_parser
+from repro.harness.chaos import config_from_args
+
+REPRO_DIR = os.path.join(os.path.dirname(__file__), "repros")
+
+
+class TestExploreWithBundling:
+    @pytest.mark.parametrize("seed", [7, 19, 23])
+    def test_budget_200_green(self, seed):
+        """The acceptance runs: full budget, batching on, every oracle."""
+        report = explore(ChaosConfig(bundle_flush_delay=2.0),
+                         budget=200, master_seed=seed)
+        assert report.ok, report.describe()
+
+    def test_exploration_deterministic_with_bundling(self):
+        config = ChaosConfig(bundle_flush_delay=2.0)
+        first = explore(config, budget=6, master_seed=11)
+        second = explore(config, budget=6, master_seed=11)
+        assert first.digest() == second.digest()
+
+    def test_describe_names_the_bundling(self):
+        report = explore(ChaosConfig(bundle_flush_delay=1.5), budget=1,
+                         master_seed=3)
+        assert "bundle=1.5" in report.describe().splitlines()[0]
+        plain = explore(ChaosConfig(), budget=1, master_seed=3)
+        assert "bundle" not in plain.describe()
+
+
+class TestReplayDeterminism:
+    def test_same_seed_and_plan_same_fingerprint(self):
+        """The chaos engine's core promise survives batching: two runs
+        of one (seed, plan) execute the same schedule bit for bit."""
+        config = ChaosConfig(bundle_flush_delay=2.0)
+        plan = FaultPlan.from_dicts([
+            {"at": 20.0, "kind": "crash", "site": "S1"},
+            {"at": 30.0, "kind": "recover", "site": "S1"},
+            {"at": 12.0, "kind": "partition",
+             "groups": [["S0", "S1"], ["S2", "S3"]]},
+            {"at": 40.0, "kind": "heal"},
+        ])
+        first = run_chaos(config, plan, seed=42)
+        second = run_chaos(config, plan, seed=42)
+        assert first.fingerprint == second.fingerprint
+        assert not first.failed, first.failures
+
+    def test_bundling_changes_schedule_not_outcomes(self):
+        """Batching on vs. off is a different schedule (different
+        fingerprint) but both runs pass every oracle."""
+        plan = FaultPlan.from_dicts([
+            {"at": 15.0, "kind": "crash", "site": "S2"},
+            {"at": 28.0, "kind": "recover", "site": "S2"},
+        ])
+        off = run_chaos(ChaosConfig(), plan, seed=9)
+        on = run_chaos(ChaosConfig(bundle_flush_delay=2.0), plan, seed=9)
+        assert off.fingerprint != on.fingerprint
+        assert not off.failed and not on.failed
+
+
+class TestPlumbing:
+    def test_cli_args_reach_chaos_config(self):
+        args = build_parser().parse_args(
+            ["chaos", "--budget", "5", "--bundle-delay", "1.5"])
+        assert config_from_args(args).bundle_flush_delay == 1.5
+
+    def test_cli_default_is_no_bundling(self):
+        args = build_parser().parse_args(["chaos", "--budget", "5"])
+        assert config_from_args(args).bundle_flush_delay is None
+
+    def test_old_config_dicts_still_load(self):
+        """Artifacts frozen before the bundling axis predate the key;
+        from_dict must default it, not crash."""
+        data = ChaosConfig().to_dict()
+        del data["bundle_flush_delay"]
+        config = ChaosConfig.from_dict(data)
+        assert config.bundle_flush_delay is None
+
+    def test_round_trip_preserves_bundling(self):
+        config = ChaosConfig(bundle_flush_delay=2.0)
+        assert ChaosConfig.from_dict(config.to_dict()) == config
+
+
+class TestCommittedRepros:
+    def bundled_artifacts(self):
+        found = []
+        for path in sorted(glob.glob(os.path.join(REPRO_DIR, "*.json"))):
+            artifact = ReproArtifact.load(path)
+            if artifact.config.bundle_flush_delay is not None:
+                found.append((path, artifact))
+        return found
+
+    def test_bundled_artifact_is_committed(self):
+        assert self.bundled_artifacts(), \
+            "no bundling-enabled repro artifact is committed"
+
+    def test_bundled_artifacts_still_reproduce(self):
+        """Each artifact replays to its recorded oracle verdict under
+        its recorded injection — and runs clean without it, proving the
+        verdict convicts the injected bug, not the batching."""
+        for path, artifact in self.bundled_artifacts():
+            result = artifact.replay()  # arms the recorded injection
+            assert result.failed_oracles == tuple(
+                sorted(artifact.failures)), path
+            clean = run_chaos(artifact.config, artifact.plan,
+                              artifact.seed)
+            assert not clean.failed, (path, clean.failures)

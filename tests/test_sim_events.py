@@ -62,6 +62,89 @@ class TestEventQueue:
         assert queue.pop() is None
 
 
+class TestCompaction:
+    """The heap drops cancelled corpses once they dominate a big heap;
+    everything observable (len, peek, pop order) must be unaffected."""
+
+    def make_big_queue(self, live_every=3):
+        queue = EventQueue()
+        events = [queue.push(float(index), lambda: None, label=str(index))
+                  for index in range(3000)]
+        survivors = []
+        for index, event in enumerate(events):
+            if index % live_every:
+                event.cancel()
+            else:
+                survivors.append(event)
+        return queue, survivors
+
+    def test_compaction_triggers_on_majority_cancelled(self):
+        queue, _ = self.make_big_queue()
+        assert queue.compactions >= 1
+
+    def test_small_heaps_never_compact(self):
+        queue = EventQueue()
+        events = [queue.push(float(index), lambda: None)
+                  for index in range(100)]
+        for event in events[:99]:
+            event.cancel()
+        assert queue.compactions == 0
+        assert len(queue) == 1
+
+    def test_len_survives_compaction(self):
+        queue, survivors = self.make_big_queue()
+        assert len(queue) == len(survivors)
+
+    def test_peek_time_survives_compaction(self):
+        queue, survivors = self.make_big_queue()
+        assert queue.peek_time() == survivors[0].time
+
+    def test_pop_order_survives_compaction(self):
+        queue, survivors = self.make_big_queue()
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append(event)
+        assert popped == survivors
+
+    def test_cancel_after_compaction_still_skipped(self):
+        queue, survivors = self.make_big_queue()
+        survivors[0].cancel()
+        assert queue.pop() is survivors[1]
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        first.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_popped_event_does_not_corrupt_count(self):
+        """Cancelling an event after it was popped (e.g. a timer firing
+        then being stopped) must not touch the queue's books."""
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is first
+        first.cancel()
+        assert len(queue) == 1
+
+    def test_compaction_in_live_simulation(self):
+        """End to end: a run that cancels thousands of timers compacts
+        without perturbing the surviving schedule."""
+        sim = Simulator()
+        hits = []
+        cancelled = [sim.at(float(2000 + index), lambda: None)
+                     for index in range(2000)]
+        for t in (1.0, 2.0, 3.0):
+            sim.at(t, lambda t=t: hits.append(t))
+        for event in cancelled:
+            event.cancel()
+        sim.run_until(10.0)
+        assert hits == [1.0, 2.0, 3.0]
+        assert sim.pending == 0
+
+
 class TestSimulator:
     def test_clock_starts_at_zero(self):
         assert Simulator().now == 0.0
@@ -163,6 +246,67 @@ class TestSimulator:
         sim.after(1.0, lambda: None)
         sim.after(2.0, lambda: None)
         assert sim.pending == 2
+
+    def test_defer_outside_event_returns_false(self):
+        sim = Simulator()
+        assert sim.defer_to_event_end(lambda: None) is False
+
+    def test_defer_runs_after_action_same_instant(self):
+        sim = Simulator()
+        order = []
+
+        def action():
+            sim.defer_to_event_end(
+                lambda: order.append(("deferred", sim.now)))
+            order.append(("action", sim.now))
+
+        sim.at(1.0, action)
+        sim.at(1.0, lambda: order.append(("second", sim.now)))
+        sim.run_until(1.0)
+        # The deferred hook fires after its event's action but before
+        # the next event pops — still at the same virtual instant.
+        assert order == [("action", 1.0), ("deferred", 1.0),
+                         ("second", 1.0)]
+
+    def test_defer_works_in_step_loop(self):
+        sim = Simulator()
+        hits = []
+        sim.at(1.0, lambda: sim.defer_to_event_end(
+            lambda: hits.append(sim.now)))
+        sim.run()
+        assert hits == [1.0]
+
+    def test_nested_defers_run_fifo(self):
+        sim = Simulator()
+        order = []
+
+        def action():
+            sim.defer_to_event_end(lambda: order.append("first"))
+            sim.defer_to_event_end(nested)
+
+        def nested():
+            order.append("second")
+            assert sim.defer_to_event_end(
+                lambda: order.append("third")) is True
+
+        sim.at(1.0, action)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_failed_action_clears_deferred_hooks(self):
+        sim = Simulator()
+        hits = []
+
+        def exploding():
+            sim.defer_to_event_end(lambda: hits.append("stale"))
+            raise RuntimeError("boom")
+
+        sim.at(1.0, exploding)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        sim.at(2.0, lambda: hits.append("fresh"))
+        sim.run()
+        assert hits == ["fresh"]
 
     def test_deterministic_given_seed(self):
         def run(seed: int) -> list[float]:
