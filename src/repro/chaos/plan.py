@@ -70,7 +70,9 @@ class CrashSite(FaultAction):
             if system.sites[self.site].alive:
                 system.crash(self.site)
 
-        system.sim.at(self.at, fire, label=f"chaos:crash:{self.site}")
+        # Site-targeted: runs on the shard owning the site.
+        system.sim.at_site(self.site, self.at, fire,
+                           label=f"chaos:crash:{self.site}")
 
 
 @dataclass(frozen=True)
@@ -88,7 +90,8 @@ class RecoverSite(FaultAction):
             if not system.sites[self.site].alive:
                 system.recover(self.site)
 
-        system.sim.at(self.at, fire, label=f"chaos:recover:{self.site}")
+        system.sim.at_site(self.site, self.at, fire,
+                           label=f"chaos:recover:{self.site}")
 
 
 @dataclass(frozen=True)
@@ -114,7 +117,8 @@ class PartitionNet(FaultAction):
         def fire() -> None:
             system.network.partition([list(group) for group in self.groups])
 
-        system.sim.at(self.at, fire, label="chaos:partition")
+        # Topology-wide: runs at a consistent cut across shards.
+        system.sim.at_global(self.at, fire, label="chaos:partition")
 
 
 @dataclass(frozen=True)
@@ -124,7 +128,8 @@ class HealNet(FaultAction):
     kind: ClassVar[str] = "heal"
 
     def schedule(self, system: "DvPSystem") -> None:
-        system.sim.at(self.at, system.network.heal, label="chaos:heal")
+        system.sim.at_global(self.at, system.network.heal,
+                             label="chaos:heal")
 
 
 @dataclass(frozen=True)
@@ -182,9 +187,13 @@ class LinkFaultWindow(FaultAction):
                 network.link(self.src, self.dst).restore()
 
         tag = f"{self.src}->{self.dst}"
-        system.sim.at(self.at, open_window, label=f"chaos:link-fault:{tag}")
-        system.sim.at(self.at + self.duration, close_window,
-                      label=f"chaos:link-heal:{tag}")
+        # Link behaviour is read by the sender at send time, so a
+        # window opening mid-round would be acausal for a shard that
+        # already ran past it: run both edges at global cuts.
+        system.sim.at_global(self.at, open_window,
+                             label=f"chaos:link-fault:{tag}")
+        system.sim.at_global(self.at + self.duration, close_window,
+                             label=f"chaos:link-heal:{tag}")
 
 
 @dataclass(frozen=True)
@@ -203,7 +212,8 @@ class SkewTick(FaultAction):
         def fire() -> None:
             system.sites[self.site].skew_fire_timers()
 
-        system.sim.at(self.at, fire, label=f"chaos:skew:{self.site}")
+        system.sim.at_site(self.site, self.at, fire,
+                           label=f"chaos:skew:{self.site}")
 
 
 ACTION_TYPES: dict[str, type[FaultAction]] = {

@@ -74,6 +74,13 @@ class ChaosConfig:
     #: batching exactly as without it. Old recorded artifacts carry no
     #: key and load as None.
     bundle_flush_delay: float | None = None
+    #: Shard count for the sharded kernel (repro.sim.shard); 1 = the
+    #: classic single-queue kernel. Old recorded artifacts carry no key
+    #: and load as 1, so their fingerprints replay byte-for-byte.
+    shards: int = 1
+    #: Worker-lane count for the sharded kernel's schedule; any value
+    #: must produce the same fingerprint (the determinism tests pin it).
+    shard_workers: int = 1
 
     def site_names(self) -> list[str]:
         return [f"S{index}" for index in range(self.sites)]
@@ -170,7 +177,9 @@ def _build_workload(system: DvPSystem, config: ChaosConfig,
             result.submitted += 1
             target.submit(TransactionSpec(ops=(op,), label=label))
 
-        system.sim.at(when, arrive, label=f"chaos-arrival:{site}")
+        # Site-targeted arrival: lands on the shard owning the site.
+        system.sim.at_site(site, when, arrive,
+                           label=f"chaos-arrival:{site}")
 
 
 def _install_probes(system: DvPSystem, config: ChaosConfig,
@@ -187,8 +196,10 @@ def _install_probes(system: DvPSystem, config: ChaosConfig,
                 if not report.ok:
                     result.probe_failures.append(
                         f"t={fraction * config.duration:g}: {report}")
-        system.sim.at(fraction * config.duration, probe,
-                      label="chaos-probe")
+        # verify_full scans every site's books: a consistent global
+        # cut under sharding (plain `at` on the single-queue kernel).
+        system.sim.at_global(fraction * config.duration, probe,
+                             label="chaos-probe")
 
 
 def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
@@ -220,7 +231,8 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
         checkpoint_interval=config.checkpoint_interval,
         link=LinkConfig(base_delay=config.base_delay,
                         jitter=config.base_jitter),
-        bundling=bundling))
+        bundling=bundling,
+        shards=config.shards, shard_workers=config.shard_workers))
     result = ChaosResult(config=config, plan=plan, seed=seed, system=system)
     per_site = _quota_split(config, seed)
     for item in config.item_names():
@@ -252,9 +264,9 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
         daemon.stop()
     system.network.heal()
     system.network.clear_all_link_faults()
-    for site in system.sites.values():
+    for name, site in system.sites.items():
         if not site.alive:
-            site.recover()
+            system.recover(name)  # call_in_site: timers land on the shard
     system.run_for(config.txn_timeout + config.settle)
 
     result.wiped_by_crash = sum(site.txns_wiped

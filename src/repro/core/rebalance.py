@@ -257,10 +257,17 @@ class RebalanceDaemon:
 
 def install_rebalancing(system, config: RebalanceConfig | None = None
                         ) -> dict[str, RebalanceDaemon]:
-    """Attach and start a daemon at every site of a DvPSystem."""
+    """Attach and start a daemon at every site of a DvPSystem.
+
+    Each daemon is built and armed in its site's scheduling context so
+    its periodic tick lives on the site's shard when the simulation is
+    sharded (a no-op on the single-queue kernel).
+    """
     daemons = {}
     for name, site in system.sites.items():
-        daemon = RebalanceDaemon(site, config)
-        daemon.start()
-        daemons[name] = daemon
+        def build(site=site):
+            daemon = RebalanceDaemon(site, config)
+            daemon.start()
+            return daemon
+        daemons[name] = system.sim.call_in_site(name, build)
     return daemons

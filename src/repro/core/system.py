@@ -29,6 +29,7 @@ from repro.net.network import Network
 from repro.net.outbox import BundlingConfig
 from repro.net.sync import SynchronousNetwork
 from repro.sim.kernel import Simulator
+from repro.sim.shard import ShardPlan, ShardedSimulator
 
 
 @dataclass
@@ -57,12 +58,25 @@ class SystemConfig:
     #: Suppress explicit acks covered by same-instant piggybacks; None
     #: follows ``bundling`` (on when bundling is on).
     coalesce_acks: bool | None = None
+    #: Execute the simulation as this many site-group shards under
+    #: conservative lookahead (repro.sim.shard; docs/PARALLEL.md).
+    #: 1 = the classic single-queue kernel, byte-for-byte the seed
+    #: behaviour. Requires a positive link delay lower bound.
+    shards: int = 1
+    #: Worker-lane count for the sharded kernel's deterministic
+    #: schedule (shard i -> worker i % shard_workers). Any value yields
+    #: the same trace fingerprint; it exists so tests can prove that.
+    shard_workers: int = 1
 
     def __post_init__(self) -> None:
         if len(set(self.sites)) != len(self.sites):
             raise ValueError("site names must be unique")
         if not self.sites:
             raise ValueError("at least one site required")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1")
 
 
 class DvPSystem:
@@ -70,10 +84,28 @@ class DvPSystem:
 
     def __init__(self, config: SystemConfig | None = None) -> None:
         self.config = config or SystemConfig()
-        self.sim = Simulator(self.config.seed)
         use_sync = (self.config.synchronous
                     if self.config.synchronous is not None
                     else self.config.cc == "conc2")
+        if self.config.shards > 1:
+            # Lookahead = the least delay any cross-site message can
+            # have. Injecting a link fault (or reconfiguring a link)
+            # with a smaller base delay later raises LookaheadError at
+            # the offending send — loud, never silently acausal.
+            lookahead = (self.config.sync_delay if use_sync
+                         else self.config.link.delay_lower_bound)
+            if lookahead <= 0:
+                raise ValueError(
+                    "shards > 1 requires a positive link delay lower "
+                    "bound (LinkConfig.base_delay) to derive the "
+                    "conservative lookahead")
+            plan = ShardPlan.round_robin(
+                self.config.sites, self.config.shards, lookahead)
+            self.sim: Simulator = ShardedSimulator(
+                plan, self.config.seed,
+                workers=self.config.shard_workers)
+        else:
+            self.sim = Simulator(self.config.seed)
         if use_sync:
             self.network: Network = SynchronousNetwork(
                 self.sim, delay=self.config.sync_delay)
@@ -97,9 +129,15 @@ class DvPSystem:
                            else self.config.bundling is not None))
         self.sites: dict[str, DvPSite] = {}
         for rank, name in enumerate(self.config.sites):
-            self.sites[name] = DvPSite(
-                name, rank, self.sim, self.network, self.cc, self.policy,
-                site_config, on_result=self._record_result)
+            # Built in the site's own scheduling context so anything a
+            # site arms at construction lands on its shard (a no-op on
+            # the single-queue kernel).
+            self.sites[name] = self.sim.call_in_site(
+                name,
+                lambda name=name, rank=rank: DvPSite(
+                    name, rank, self.sim, self.network, self.cc,
+                    self.policy, site_config,
+                    on_result=self._record_result))
         # The auditor hooks into the sites' fragment stores and Vm
         # lifecycles (incremental accounting), so it attaches after
         # the sites exist.
@@ -184,10 +222,14 @@ class DvPSystem:
     # -- failure injection ----------------------------------------------------
 
     def crash(self, site: str) -> None:
-        self.sites[site].crash()
+        # call_in_site: crash/recover arm site-owned timers (recovery
+        # retransmits, checkpoints), which must land on the site's
+        # shard whether this is called from setup code or from an
+        # event already running there.
+        self.sim.call_in_site(site, self.sites[site].crash)
 
     def recover(self, site: str) -> RecoveryReport:
-        return self.sites[site].recover()
+        return self.sim.call_in_site(site, self.sites[site].recover)
 
     # -- observation ------------------------------------------------------------
 

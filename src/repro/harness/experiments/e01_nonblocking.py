@@ -55,6 +55,11 @@ class Params:
     seed: int = 11
     link_delay: float = 2.0
     link_jitter: float = 1.0
+    #: Sharded-kernel knobs (repro.sim.shard); defaults reproduce the
+    #: classic single-queue run. The determinism suite reruns this
+    #: experiment with several worker counts and pins the fingerprint.
+    shards: int = 1
+    shard_workers: int = 1
 
     @classmethod
     def quick(cls) -> "Params":
@@ -100,7 +105,8 @@ def _plant_victim(system, params: Params, spec: TransactionSpec,
         collector.on_submit(at=system.sim.now)
         system.submit(params.sites[0], spec, collector.on_result)
 
-    system.sim.at(victim_at, submit, label="victim")
+    system.sim.at_site(params.sites[0], victim_at, submit,
+                       label="victim")
 
 
 def _run_dvp(params: Params, duration: float) -> dict:
@@ -108,7 +114,8 @@ def _run_dvp(params: Params, duration: float) -> dict:
         sites=list(params.sites), seed=params.seed,
         txn_timeout=params.txn_timeout,
         link=LinkConfig(base_delay=params.link_delay,
-                        jitter=params.link_jitter))
+                        jitter=params.link_jitter),
+        shards=params.shards, shard_workers=params.shard_workers)
     system = DvPSystem(config)
     source = CrossSiteTransfers(params.sites)
     for site in params.sites:
@@ -127,10 +134,13 @@ def _run_dvp(params: Params, duration: float) -> dict:
         label="victim")
     _plant_victim(system, params, victim_spec, collector)
     half = len(params.sites) // 2
-    system.sim.at(params.partition_start,
-                  lambda: system.network.partition(
-                      [params.sites[:half], params.sites[half:]]))
-    system.sim.at(params.partition_start + duration, system.network.heal)
+    # Topology-wide events run at consistent global cuts under sharding
+    # (plain `at` on the single-queue kernel).
+    system.sim.at_global(params.partition_start,
+                         lambda: system.network.partition(
+                             [params.sites[:half], params.sites[half:]]))
+    system.sim.at_global(params.partition_start + duration,
+                         system.network.heal)
     heal_at = params.partition_start + duration
     system.run_until(heal_at)
     # Resources blocked beyond the protocol's own bound at heal time:

@@ -74,6 +74,10 @@ class Params:
     rebalance_max_ship: int = 5
     rebalance_timeout: float = 8.0
     rebalance_link_delay: float = 6.0  # rescue round trip > timeout
+    #: Sharded-kernel knobs (repro.sim.shard); defaults reproduce the
+    #: classic single-queue run.
+    shards: int = 1
+    shard_workers: int = 1
 
     @classmethod
     def quick(cls) -> "Params":
@@ -114,7 +118,8 @@ def _run_dvp(params: Params, count: int) -> dict:
     sites = _site_names(count)
     system = DvPSystem(SystemConfig(
         sites=sites, seed=params.seed, txn_timeout=params.txn_timeout,
-        link=LinkConfig(base_delay=params.link_delay)))
+        link=LinkConfig(base_delay=params.link_delay),
+        shards=params.shards, shard_workers=params.shard_workers))
     system.add_item("hot", CounterDomain(), total=params.initial)
     collector = _drive(system, sites, params)
     system.auditor.assert_ok()
@@ -145,7 +150,8 @@ def _run_rebalance(params: Params, policy: str) -> dict:
         sites=[depot] + sellers, seed=params.seed,
         txn_timeout=params.rebalance_timeout,
         policy="ask-few", policy_kwargs={"fanout": 1},
-        link=LinkConfig(base_delay=params.rebalance_link_delay)))
+        link=LinkConfig(base_delay=params.rebalance_link_delay),
+        shards=params.shards, shard_workers=params.shard_workers))
     split = {depot: params.rebalance_reserve}
     split.update({seller: params.rebalance_quota for seller in sellers})
     system.add_item("hot", CounterDomain(), split=split)
@@ -174,7 +180,8 @@ def _run_rebalance(params: Params, policy: str) -> dict:
                     ops=(DecrementOp("hot", amount),), label="sale"),
                     collector.on_result)
 
-            system.sim.at(time, arrive)
+            system.sim.at_site(seller, time, arrive,
+                               label=f"sale:{seller}")
     system.run_for(params.duration + params.rebalance_timeout + 60.0)
     system.auditor.assert_ok()
     stats = _stats(collector, params)

@@ -21,6 +21,18 @@ class LinkConfig:
     loss_probability: float = 0.0
     duplicate_probability: float = 0.0
 
+    @property
+    def delay_lower_bound(self) -> float:
+        """The least delay any transmission on this link can have.
+
+        Jitter only adds to ``base_delay``, so the base is the bound.
+        This is what the sharded kernel's conservative lookahead is
+        derived from (docs/PARALLEL.md): no cross-site message can
+        arrive sooner than the minimum bound over the links that cross
+        a shard boundary.
+        """
+        return self.base_delay
+
     def __post_init__(self) -> None:
         if self.base_delay < 0:
             raise ValueError("base_delay must be non-negative")

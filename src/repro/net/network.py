@@ -114,6 +114,20 @@ class Network:
         for (src, dst) in list(self._links):
             self.configure_link(src, dst, config)
 
+    def delay_lower_bound(self) -> float:
+        """The least delay any message on any link can have.
+
+        The sharded kernel's conservative lookahead (repro.sim.shard)
+        must lower-bound every cross-shard delivery delay; since any
+        link may cross a shard boundary, the network-wide minimum over
+        the default and every explicitly configured link is the safe
+        bound.
+        """
+        bound = self.default_link.delay_lower_bound
+        for link in self._links.values():
+            bound = min(bound, link.config.delay_lower_bound)
+        return bound
+
     # -- scripted link faults (chaos engine) ------------------------------
 
     def inject_link_fault(self, src: str, dst: str,
@@ -270,9 +284,13 @@ class Network:
                     payload=envelope.kind()))
             self._handlers[envelope.dst](envelope)
 
-        self.sim.after(delay, deliver,
-                       label=f"deliver:{envelope.kind()}:"
-                             f"{envelope.src}->{envelope.dst}")
+        # Routed to the destination's shard when the simulation is
+        # sharded (repro.sim.shard): delivery events mutate receiver
+        # state, and the link's delay lower bound is exactly what the
+        # sharded kernel's lookahead is derived from.
+        self.sim.after_for_site(envelope.dst, delay, deliver,
+                                label=f"deliver:{envelope.kind()}:"
+                                      f"{envelope.src}->{envelope.dst}")
 
     def _deliver_bundle(self, open_bundle: _OpenBundle,
                         duplicated: bool) -> None:

@@ -160,9 +160,11 @@ class Outbox:
             self._close(open_bundle)
             net._deliver_bundle(open_bundle, duplicated)
 
-        net.sim.after(delay, deliver,
-                      label=f"deliver:{kind}:"
-                            f"{open_bundle.src}->{open_bundle.dst}")
+        # Shard-routed like the unbundled transport: the delivery event
+        # runs on the destination's shard (see Network._schedule_delivery).
+        net.sim.after_for_site(open_bundle.dst, delay, deliver,
+                               label=f"deliver:{kind}:"
+                                     f"{open_bundle.src}->{open_bundle.dst}")
 
     def _close(self, open_bundle: _OpenBundle) -> None:
         open_bundle.closed = True

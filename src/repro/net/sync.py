@@ -77,8 +77,10 @@ class SynchronousNetwork(Network):
         # Equal delay keeps send order and arrival order identical;
         # priority breaks simultaneous sends by sender rank at EVERY
         # receiver, which yields the common global order Conc2 needs.
-        self.sim.at(self.sim.now + self.delay, deliver, priority=priority,
-                    label=f"sync-deliver:{envelope.kind()}:{src}->{dst}")
+        # Site-routed for shard placement, like the async transport.
+        self.sim.at_site(dst, self.sim.now + self.delay, deliver,
+                         priority=priority,
+                         label=f"sync-deliver:{envelope.kind()}:{src}->{dst}")
 
     def broadcast(self, src: str, payload: Any,
                   dsts: Iterable[str] | None = None) -> None:

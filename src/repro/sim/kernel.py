@@ -16,6 +16,12 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. scheduling into the past)."""
 
 
+class LookaheadError(SimulationError):
+    """A cross-shard event was scheduled closer than the lookahead bound
+    (see :mod:`repro.sim.shard`): the conservative synchronization
+    protocol cannot deliver it in time."""
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -29,8 +35,9 @@ class Simulator:
     to one component never perturbs another component's draws.
     """
 
-    def __init__(self, seed: int = 0) -> None:
-        self._queue = EventQueue()
+    def __init__(self, seed: int = 0,
+                 queue_factory: Callable[[], Any] | None = None) -> None:
+        self._queue = (queue_factory or EventQueue)()
         self._now = 0.0
         self.rng = RandomStreams(seed)
         self._trace: list[tuple[float, str]] | None = None
@@ -133,6 +140,46 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self._queue.push(self._now + delay, action, priority, label)
+
+    # -- placement hooks (overridden by repro.sim.shard) -------------------
+    #
+    # On this single-queue kernel every placement hint collapses to the
+    # plain schedule calls above, so callers can route unconditionally.
+    # The ShardedSimulator overrides them: *site* hints place the event
+    # on the shard owning that site's state, and *global* events run at
+    # a synchronization barrier where every shard has reached their
+    # timestamp. The contract callers must follow for shard-correctness:
+    #
+    # * events that touch one site's state carry that site (at_site /
+    #   after_for_site),
+    # * events that touch the whole topology (partitions, heals,
+    #   cross-site probes) use at_global,
+    # * setup code that arms site-owned timers outside any event wraps
+    #   the arming in call_in_site.
+
+    def at_site(self, site: str, time: float, action: Callable[[], Any],
+                priority: int = 0, label: str = "") -> Event:
+        """Schedule *action* at *time*, placed with *site*'s state."""
+        return self.at(time, action, priority, label)
+
+    def after_for_site(self, site: str, delay: float,
+                       action: Callable[[], Any], priority: int = 0,
+                       label: str = "") -> Event:
+        """Schedule *action* after *delay*, placed with *site*'s state."""
+        return self.after(delay, action, priority, label)
+
+    def at_global(self, time: float, action: Callable[[], Any],
+                  priority: int = 0, label: str = "") -> Event:
+        """Schedule a topology-wide *action* at *time*."""
+        return self.at(time, action, priority, label)
+
+    def call_in_site(self, site: str, action: Callable[[], Any]) -> Any:
+        """Run setup code in *site*'s scheduling context, immediately."""
+        return action()
+
+    def shard_of(self, site: str) -> int:
+        """The shard owning *site* (single-queue kernel: always 0)."""
+        return 0
 
     def step(self) -> bool:
         """Execute the next event; return False when the queue is drained."""

@@ -1,0 +1,302 @@
+"""OS-level parallel execution of shard groups in worker processes.
+
+:class:`~repro.sim.shard.ShardedSimulator` runs every shard in one
+process — deterministic, API-compatible, but bounded by one core. This
+module runs the same barrier-round protocol with the shards split
+across ``multiprocessing`` workers, for workloads that are *shard
+programs*: self-contained per-shard worlds that interact only through
+timestamped, **picklable** payloads.
+
+A shard program is any object with::
+
+    build(sim, shard_id, sites, send) -> deliver
+        Construct the shard's world against its private ``Simulator``.
+        *send(dst_site, delay, payload, priority=0, label="")* mails a
+        payload to another site; *deliver(payload)* is called on this
+        shard for each payload mailed to one of its sites. Delays below
+        the plan's lookahead raise :class:`LookaheadError`.
+    collect(sim, shard_id) -> picklable        (optional)
+        Summarize the shard's final state; gathered into
+        :attr:`ParallelResult.collected` in shard order.
+
+The full DvP system is *not* a shard program — its auditor and metrics
+close over shared objects — which is exactly why the system runs on the
+in-process ``ShardedSimulator``. The parallel runner exists for the
+scaling benchmarks (``benchmarks/bench_kernel_scale.py``) and any
+future serving front-end whose shards are genuinely share-nothing.
+
+Determinism matches the in-process contract: per-shard event streams
+are independent of the worker assignment (each shard runs the same
+rounds against the same mail, delivered in canonical source-shard
+order), so per-shard fingerprints — combined in shard-id order — are
+bit-identical for every worker count, including ``workers=0`` (run
+everything serially in the calling process, no subprocesses).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.events import EventQueue
+from repro.sim.kernel import LookaheadError, Simulator
+from repro.sim.random import RandomStreams
+from repro.sim.shard import ShardPlan, _EPS
+
+#: Mail entry: (src_shard, dst_shard, time, priority, payload, label).
+_Mail = tuple[int, int, float, int, Any, str]
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a parallel (or serial-fallback) shard run."""
+
+    steps: int
+    rounds: int
+    fingerprint: str
+    shard_steps: list[int]
+    collected: list[Any]
+    workers: int            # worker processes actually used (0 = serial)
+
+
+class _ShardHost:
+    """Owns a group of shards inside one process (or the serial run).
+
+    Every shard gets its own :class:`Simulator` whose stream family is
+    sub-seeded exactly like the in-process kernel's
+    (``RandomStreams(seed).fork("shard:<id>")``), so a program observes
+    the same draws no matter which executor runs it.
+    """
+
+    def __init__(self, plan: ShardPlan, program: Any, seed: int,
+                 shard_ids: list[int],
+                 queue_factory: Callable[[], Any] | None) -> None:
+        self._plan = plan
+        self._horizon = 0.0
+        master = RandomStreams(seed)
+        self._sims: dict[int, Simulator] = {}
+        self._deliver: dict[int, Callable[[Any], Any]] = {}
+        self._outbox: list[_Mail] = []
+        for shard_id in shard_ids:
+            sim = Simulator(seed, queue_factory=queue_factory)
+            sim.rng = master.fork(f"shard:{shard_id}")
+            sim.enable_trace(limit=0)   # fingerprint only, keep no list
+            sites = [site for site, shard in plan.site_shard.items()
+                     if shard == shard_id]
+            self._sims[shard_id] = sim
+            self._deliver[shard_id] = program.build(
+                sim, shard_id, sites, self._make_send(shard_id, sim))
+        self._program = program
+
+    def _make_send(self, src_shard: int, sim: Simulator):
+        plan = self._plan
+
+        def send(dst_site: str, delay: float, payload: Any,
+                 priority: int = 0, label: str = "") -> None:
+            time = sim.now + delay
+            dst_shard = plan.shard_of(dst_site)
+            if dst_shard == src_shard:
+                deliver = self._deliver[src_shard]
+                sim.at(time, lambda: deliver(payload), priority, label)
+                return
+            if time + _EPS < self._horizon:
+                raise LookaheadError(
+                    f"cross-shard payload for {dst_site!r} at t={time} "
+                    f"lands inside the current window "
+                    f"(horizon {self._horizon}); lookahead="
+                    f"{plan.lookahead} does not cover it")
+            self._outbox.append(
+                (src_shard, dst_shard, time, priority, payload, label))
+
+        return send
+
+    # -- the four protocol verbs ------------------------------------------
+
+    def next_time(self) -> float | None:
+        times = [t for t in (sim._queue.peek_time()
+                             for sim in self._sims.values())
+                 if t is not None]
+        times.extend(entry[2] for entry in self._outbox)
+        return min(times) if times else None
+
+    def run_round(self, horizon: float) -> list[_Mail]:
+        self._horizon = horizon
+        for shard_id in sorted(self._sims):
+            self._sims[shard_id].run_until(horizon)
+        mail, self._outbox = self._outbox, []
+        return mail
+
+    def deliver(self, batch: list[_Mail]) -> None:
+        """Push mailed payloads, in the canonical order the caller
+        established (ascending source shard, send order within)."""
+        for _src, dst, time, priority, payload, label in batch:
+            deliver = self._deliver[dst]
+            self._sims[dst].at(
+                time,
+                lambda payload=payload, deliver=deliver: deliver(payload),
+                priority, label)
+
+    def finish(self) -> list[tuple[int, int, str, Any]]:
+        results = []
+        collect = getattr(self._program, "collect", None)
+        for shard_id in sorted(self._sims):
+            sim = self._sims[shard_id]
+            summary = collect(sim, shard_id) if collect else None
+            results.append((shard_id, sim.steps,
+                            sim.trace_fingerprint(), summary))
+        return results
+
+
+def _worker_main(conn, plan, program, seed, shard_ids,
+                 queue_factory) -> None:
+    host = _ShardHost(plan, program, seed, shard_ids, queue_factory)
+    while True:
+        message = conn.recv()
+        verb = message[0]
+        if verb == "next":
+            conn.send(host.next_time())
+        elif verb == "round":
+            conn.send(host.run_round(message[1]))
+        elif verb == "mail":
+            host.deliver(message[1])
+            conn.send(None)
+        elif verb == "finish":
+            conn.send(host.finish())
+            conn.close()
+            return
+
+
+def _canonical_mail(per_host_mail: list[list[_Mail]]) -> list[_Mail]:
+    """Merge hosts' outgoing mail into the canonical barrier order:
+    ascending source shard, original send order within a shard."""
+    by_source: dict[int, list[_Mail]] = {}
+    for mail in per_host_mail:
+        for entry in mail:
+            by_source.setdefault(entry[0], []).append(entry)
+    merged: list[_Mail] = []
+    for source in sorted(by_source):
+        merged.extend(by_source[source])
+    return merged
+
+
+def _combine(finished: list[tuple[int, int, str, Any]], rounds: int,
+             workers: int) -> ParallelResult:
+    finished = sorted(finished)
+    combined = hashlib.sha256()
+    for shard_id, _steps, digest, _summary in finished:
+        combined.update(f"shard:{shard_id}:".encode())
+        combined.update(digest.encode())
+        combined.update(b"\n")
+    combined.update(b"global:")
+    combined.update(hashlib.sha256().hexdigest().encode())
+    return ParallelResult(
+        steps=sum(entry[1] for entry in finished),
+        rounds=rounds,
+        fingerprint=combined.hexdigest(),
+        shard_steps=[entry[1] for entry in finished],
+        collected=[entry[3] for entry in finished],
+        workers=workers)
+
+
+def _lanes(shards: int, workers: int) -> list[list[int]]:
+    lanes: list[list[int]] = [[] for _ in range(min(workers, shards))]
+    for shard in range(shards):
+        lanes[shard % len(lanes)].append(shard)
+    return lanes
+
+
+def run_parallel(plan: ShardPlan, program: Any, *, seed: int = 0,
+                 workers: int = 2, until: float | None = None,
+                 queue_factory: Callable[[], Any] | None = None,
+                 ) -> ParallelResult:
+    """Run *program* over *plan*'s shards; see the module docstring.
+
+    ``workers=0`` (or an environment without ``fork``) runs the same
+    barrier protocol serially in this process — same fingerprint, no
+    subprocesses. Worker processes are forked, so the program object
+    itself need not be picklable; only mailed payloads and ``collect``
+    summaries cross process boundaries.
+    """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    serial = workers == 0 or plan.shards == 1
+    if not serial and "fork" not in multiprocessing.get_all_start_methods():
+        serial = True
+    if serial:
+        host = _ShardHost(plan, program, seed,
+                          list(range(plan.shards)), queue_factory)
+        rounds = 0
+        while True:
+            next_time = host.next_time()
+            if next_time is None or (until is not None
+                                     and next_time > until):
+                break
+            horizon = next_time + plan.lookahead
+            if until is not None:
+                horizon = min(horizon, until)
+            rounds += 1
+            mail = host.run_round(horizon)
+            host.deliver(_canonical_mail([mail]))
+        return _combine(host.finish(), rounds, workers=0)
+
+    context = multiprocessing.get_context("fork")
+    lanes = _lanes(plan.shards, workers)
+    pipes, processes = [], []
+    try:
+        for lane in lanes:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, plan, program, seed, lane,
+                      queue_factory),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            pipes.append(parent_conn)
+            processes.append(process)
+
+        def broadcast(message) -> list[Any]:
+            for conn in pipes:
+                conn.send(message)
+            return [conn.recv() for conn in pipes]
+
+        rounds = 0
+        while True:
+            next_times = [t for t in broadcast(("next",)) if t is not None]
+            if not next_times:
+                break
+            next_time = min(next_times)
+            if until is not None and next_time > until:
+                break
+            horizon = next_time + plan.lookahead
+            if until is not None:
+                horizon = min(horizon, until)
+            rounds += 1
+            per_host = broadcast(("round", horizon))
+            mail = _canonical_mail(per_host)
+            if mail:
+                owner = {shard: index for index, lane in enumerate(lanes)
+                         for shard in lane}
+                batches: list[list[_Mail]] = [[] for _ in lanes]
+                for entry in mail:
+                    batches[owner[entry[1]]].append(entry)
+                for conn, batch in zip(pipes, batches):
+                    conn.send(("mail", batch))
+                for conn in pipes:
+                    conn.recv()
+        finished: list[tuple[int, int, str, Any]] = []
+        for result in broadcast(("finish",)):
+            finished.extend(result)
+        return _combine(finished, rounds, workers=len(lanes))
+    finally:
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+        for conn in pipes:
+            conn.close()
+
+
+__all__ = ["ParallelResult", "run_parallel"]

@@ -14,13 +14,21 @@ from repro.sim.kernel import Simulator
 
 
 class Timer:
-    """A one-shot timer that can be cancelled and re-armed."""
+    """A one-shot timer that can be cancelled and re-armed.
+
+    *site* is an optional placement hint for sharded simulations
+    (repro.sim.shard): a site-hinted timer always arms on the shard
+    owning that site's state, even when :meth:`start` is called from
+    setup code outside any event. On the single-queue kernel the hint
+    is free (``call_in_site`` runs the arming immediately).
+    """
 
     def __init__(self, sim: Simulator, action: Callable[[], Any],
-                 label: str = "timer") -> None:
+                 label: str = "timer", site: str | None = None) -> None:
         self._sim = sim
         self._action = action
         self._label = label
+        self._site = site
         self._event: Event | None = None
 
     @property
@@ -30,7 +38,14 @@ class Timer:
     def start(self, delay: float) -> None:
         """Arm (or re-arm) the timer to fire after *delay*."""
         self.cancel()
-        self._event = self._sim.after(delay, self._fire, label=self._label)
+        if self._site is None:
+            self._event = self._sim.after(delay, self._fire,
+                                          label=self._label)
+        else:
+            self._event = self._sim.call_in_site(
+                self._site,
+                lambda: self._sim.after(delay, self._fire,
+                                        label=self._label))
 
     def cancel(self) -> None:
         """Disarm the timer if armed."""
@@ -52,13 +67,15 @@ class PeriodicTimer:
     """
 
     def __init__(self, sim: Simulator, period: float,
-                 action: Callable[[], Any], label: str = "periodic") -> None:
+                 action: Callable[[], Any], label: str = "periodic",
+                 site: str | None = None) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         self._sim = sim
         self.period = period
         self._action = action
         self._label = label
+        self._site = site           # placement hint, as on Timer
         self._event: Event | None = None
         self._running = False
 
@@ -79,8 +96,14 @@ class PeriodicTimer:
             self._event = None
 
     def _schedule(self) -> None:
-        self._event = self._sim.after(self.period, self._tick,
-                                      label=self._label)
+        if self._site is None:
+            self._event = self._sim.after(self.period, self._tick,
+                                          label=self._label)
+        else:
+            self._event = self._sim.call_in_site(
+                self._site,
+                lambda: self._sim.after(self.period, self._tick,
+                                        label=self._label))
 
     def _tick(self) -> None:
         self._event = None

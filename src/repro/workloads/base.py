@@ -94,6 +94,13 @@ class WorkloadDriver:
         self.config = config
         self.collector = collector or Collector()
         self._rng = sim.rng.stream(config.seed_stream)
+        # Spec draws happen inside arrival events, which execute on the
+        # site's shard when the simulation is sharded (repro.sim.shard);
+        # a per-site stream keeps those draws independent of the order
+        # shards execute in, so results cannot depend on worker count.
+        self._site_rng = {
+            site: sim.rng.stream(f"{config.seed_stream}:{site}")
+            for site in sites}
 
     def install(self, start: float = 0.0) -> int:
         """Pre-schedule every arrival in [start, start+duration].
@@ -109,8 +116,8 @@ class WorkloadDriver:
                 time += self._next_gap()
                 if time >= start + self.config.duration:
                     break
-                self.sim.at(time, self._make_arrival(site),
-                            label=f"arrival:{site}")
+                self.sim.at_site(site, time, self._make_arrival(site),
+                                 label=f"arrival:{site}")
                 scheduled += 1
         return scheduled
 
@@ -119,7 +126,7 @@ class WorkloadDriver:
 
     def _make_arrival(self, site: str):
         def arrive() -> None:
-            spec = self.source.make_spec(self._rng, site)
+            spec = self.source.make_spec(self._site_rng[site], site)
             self.collector.on_submit(at=self.sim.now)
             try:
                 self.target.submit(site, spec, self.collector.on_result)

@@ -1,0 +1,310 @@
+"""Property tests for the calendar event queue, the Event back-reference
+lifecycle, and the defer_to_event_end same-instant ordering contract.
+
+The calendar queue's correctness claim is *exact order parity* with the
+binary heap: for any interleaving of pushes (any times — including into
+days the calendar already passed — any priorities, ties), pops,
+cancellations and compactions, both implementations emit the identical
+event sequence. Hypothesis drives random interleavings against the
+:class:`HeapEventQueue` reference.
+"""
+
+import gc
+import weakref
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.events import (
+    CalendarEventQueue,
+    EventQueue,
+    HeapEventQueue,
+    Event,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.shard import ShardPlan, ShardedSimulator
+
+
+def noop():
+    pass
+
+
+# One random operation: (kind, value). Times deliberately span several
+# wheel laps of the smallest geometry below and reach the overflow heap
+# of the default one.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"),
+                  st.tuples(st.floats(min_value=0.0, max_value=400.0,
+                                      allow_nan=False, width=32),
+                            st.integers(min_value=-2, max_value=2))),
+        st.tuples(st.just("pop"), st.none()),
+        st.tuples(st.just("pop_if_due"),
+                  st.floats(min_value=0.0, max_value=400.0,
+                            allow_nan=False, width=32)),
+        st.tuples(st.just("peek"), st.none()),
+        st.tuples(st.just("cancel"), st.integers(min_value=0)),
+        st.tuples(st.just("compact"), st.none()),
+    ),
+    min_size=1, max_size=200)
+
+_geometries = st.sampled_from([
+    {},                                      # default calendar
+    {"day_width": 0.5, "wheel_days": 4},     # many laps, tiny wheel
+    {"day_width": 7.0, "wheel_days": 2},     # wide days, minimal wheel
+    {"day_width": 0.125, "wheel_days": 512},
+])
+
+
+def _apply(queue, ops):
+    """Run *ops* against *queue*; return the observable event stream."""
+    observed = []
+    handles = []
+    for kind, value in ops:
+        if kind == "push":
+            time, priority = value
+            handles.append(queue.push(time, noop, priority,
+                                      label=f"e{len(handles)}"))
+        elif kind == "pop":
+            event = queue.pop()
+            observed.append(("pop", None) if event is None else
+                            ("pop", (event.time, event.priority,
+                                     event.label)))
+        elif kind == "pop_if_due":
+            event = queue.pop_if_due(value)
+            observed.append(("due", None) if event is None else
+                            ("due", (event.time, event.priority,
+                                     event.label)))
+        elif kind == "peek":
+            observed.append(("peek", queue.peek_time()))
+        elif kind == "cancel":
+            if handles:
+                handles[value % len(handles)].cancel()
+        elif kind == "compact":
+            queue.compact()
+        observed.append(("len", len(queue)))
+    # Drain what's left: the full residual order must match too.
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        observed.append(("drain", (event.time, event.priority,
+                                   event.label)))
+    return observed
+
+
+class TestCalendarHeapParity:
+    @given(ops=_ops, geometry=_geometries)
+    @settings(max_examples=300, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_identical_event_streams(self, ops, geometry):
+        assert _apply(CalendarEventQueue(**geometry), ops) == \
+            _apply(HeapEventQueue(), ops)
+
+    @given(times=st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                                    allow_nan=False),
+                          min_size=1, max_size=80),
+           geometry=_geometries)
+    @settings(max_examples=150, deadline=None)
+    def test_pure_push_then_drain_is_sorted(self, times, geometry):
+        queue = CalendarEventQueue(**geometry)
+        for time in times:
+            queue.push(time, noop)
+        drained = []
+        while (event := queue.pop()) is not None:
+            drained.append((event.time, event.seq))
+        assert drained == sorted(drained)
+        assert len(drained) == len(times)
+
+    def test_same_instant_fifo_across_tiers(self):
+        """Ties break by seq even when the tied events took different
+        storage paths (current run vs wheel vs overflow)."""
+        queue = CalendarEventQueue(day_width=1.0, wheel_days=4)
+        # Force the calendar forward so 2.0 is a passed day for the
+        # second batch of pushes.
+        queue.push(2.0, noop, label="a")
+        queue.push(6.5, noop, label="far")
+        assert queue.pop().label == "a"        # calendar now at day 2
+        queue.push(2.0, noop, label="b")       # passed-day insert
+        queue.push(2.0, noop, label="c")
+        order = []
+        while (event := queue.pop_if_due(10.0)) is not None:
+            order.append(event.label)
+        assert order == ["b", "c", "far"]
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CalendarEventQueue(day_width=0.0)
+        with pytest.raises(ValueError):
+            CalendarEventQueue(wheel_days=1)
+
+    def test_default_queue_is_the_calendar(self):
+        assert EventQueue is CalendarEventQueue
+
+
+class TestEventQueueBackref:
+    """The Event.queue back-reference lifecycle: cleared on *every*
+    removal path, so a held event handle never pins a dead queue."""
+
+    @pytest.mark.parametrize("factory", [CalendarEventQueue,
+                                         HeapEventQueue])
+    def test_cleared_on_pop(self, factory):
+        queue = factory()
+        event = queue.push(1.0, noop)
+        assert event.queue is queue
+        assert queue.pop() is event
+        assert event.queue is None
+
+    @pytest.mark.parametrize("factory", [CalendarEventQueue,
+                                         HeapEventQueue])
+    def test_cleared_on_pop_if_due(self, factory):
+        queue = factory()
+        event = queue.push(1.0, noop)
+        assert queue.pop_if_due(2.0) is event
+        assert event.queue is None
+
+    @pytest.mark.parametrize("factory", [CalendarEventQueue,
+                                         HeapEventQueue])
+    def test_cleared_on_lazy_discard(self, factory):
+        queue = factory()
+        corpse = queue.push(1.0, noop)
+        live = queue.push(2.0, noop)
+        corpse.cancel()
+        assert queue.pop() is live       # discards the corpse on the way
+        assert corpse.queue is None
+
+    @pytest.mark.parametrize("factory", [CalendarEventQueue,
+                                         HeapEventQueue])
+    def test_cleared_on_compaction(self, factory):
+        queue = factory()
+        corpses = [queue.push(float(index), noop) for index in range(10)]
+        keeper = queue.push(99.0, noop)
+        for corpse in corpses:
+            corpse.cancel()
+        queue.compact()
+        assert all(corpse.queue is None for corpse in corpses)
+        assert keeper.queue is queue
+
+    def test_cleared_on_calendar_refill_of_cancelled_bucket(self):
+        queue = CalendarEventQueue(day_width=1.0, wheel_days=8)
+        corpse = queue.push(3.5, noop)       # lands in a wheel bucket
+        live = queue.push(3.6, noop)
+        corpse.cancel()
+        assert queue.pop() is live           # refill sweeps the corpse
+        assert corpse.queue is None
+
+    @pytest.mark.parametrize("factory", [CalendarEventQueue,
+                                         HeapEventQueue])
+    def test_cleared_on_clear(self, factory):
+        queue = factory()
+        events = [queue.push(float(index), noop) for index in range(5)]
+        queue.clear()
+        assert all(event.queue is None for event in events)
+        assert len(queue) == 0
+
+    @pytest.mark.parametrize("factory", [CalendarEventQueue,
+                                         HeapEventQueue])
+    def test_popped_handle_does_not_pin_queue(self, factory):
+        """gc regression: a long-lived event handle (timers hold them)
+        must not keep its queue — and everything the queue references —
+        alive after the event left the store."""
+        queue = factory()
+        held = [queue.push(float(index), noop) for index in range(20)]
+        held[3].cancel()
+        while queue.pop() is not None:
+            pass
+        ref = weakref.ref(queue)
+        del queue
+        gc.collect()
+        assert ref() is None
+        assert all(event.queue is None for event in held)
+
+    def test_cancelled_handle_does_not_pin_queue_after_compact(self):
+        queue = CalendarEventQueue()
+        held = [queue.push(float(index), noop) for index in range(20)]
+        for event in held:
+            event.cancel()
+        queue.compact()
+        ref = weakref.ref(queue)
+        del queue
+        gc.collect()
+        assert ref() is None
+
+    def test_cancel_after_removal_is_safe(self):
+        """cancel() on an already-popped handle must not corrupt the
+        (now detached) queue's cancelled-entry accounting."""
+        queue = CalendarEventQueue()
+        event = queue.push(1.0, noop)
+        queue.push(2.0, noop)
+        assert queue.pop() is event
+        event.cancel()                   # no queue: no count to corrupt
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+    def test_standalone_event_cancel(self):
+        event = Event(1.0, 0, 0, noop)
+        event.cancel()
+        assert event.cancelled
+
+
+def _defer_scenario(sim):
+    """An event whose deferred hook schedules a *same-instant* event.
+
+    The contract: the deferred hooks run FIFO right after the body (at
+    the same virtual instant), and an event the hook schedules for that
+    same instant still executes — after the hooks, in (time, priority,
+    seq) order relative to other same-instant events.
+    """
+    sim.enable_trace()
+    order = []
+
+    def body():
+        order.append("body")
+        sim.defer_to_event_end(lambda: (
+            order.append("hook1"),
+            sim.at(5.0, lambda: order.append("same-instant"),
+                   label="same-instant")))
+        sim.defer_to_event_end(lambda: (
+            order.append("hook2"),
+            sim.defer_to_event_end(lambda: order.append("nested"))))
+
+    sim.at(5.0, body, label="body")
+    sim.at(5.0, lambda: order.append("sibling"), label="sibling")
+    sim.at(6.0, lambda: order.append("later"), label="later")
+    sim.run()
+    return order, sim.trace_fingerprint()
+
+
+class TestDeferSameInstantOrdering:
+    EXPECTED = ["body", "hook1", "hook2", "nested", "sibling",
+                "same-instant", "later"]
+
+    @pytest.mark.parametrize("factory", [CalendarEventQueue,
+                                         HeapEventQueue])
+    def test_order_on_plain_kernel(self, factory):
+        order, _ = _defer_scenario(Simulator(queue_factory=factory))
+        assert order == self.EXPECTED
+
+    def test_fingerprint_stable_across_queue_implementations(self):
+        _, calendar = _defer_scenario(
+            Simulator(queue_factory=CalendarEventQueue))
+        _, heap = _defer_scenario(Simulator(queue_factory=HeapEventQueue))
+        assert calendar == heap
+
+    def test_order_on_sharded_kernel(self):
+        sim = ShardedSimulator(ShardPlan({"only": 0}, 1.0))
+        order, _ = _defer_scenario(sim)
+        assert order == self.EXPECTED
+
+    def test_run_until_boundary_does_not_leak_deferrals(self):
+        """Hooks deferred by the last event before a run_until boundary
+        run at that instant, not at the next run call."""
+        sim = Simulator()
+        order = []
+        sim.at(1.0, lambda: sim.defer_to_event_end(
+            lambda: order.append(("hook", sim.now))))
+        sim.run_until(1.0)
+        assert order == [("hook", 1.0)]
+        sim.at(2.0, lambda: order.append(("next", sim.now)))
+        sim.run()
+        assert order == [("hook", 1.0), ("next", 2.0)]

@@ -1,0 +1,176 @@
+"""End-to-end determinism of the sharded kernel: worker-count-invariant
+fingerprints and outcomes on the harness experiments' scenarios and
+across chaos exploration.
+
+These are the acceptance tests for the sharding contract: ``workers``
+may only change which OS schedule executes the shards, never anything
+any shard (or oracle) can observe.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos.explore import explore
+from repro.chaos.runner import ChaosConfig, run_chaos
+from repro.chaos.plan import FaultPlan
+from repro.core.domain import CounterDomain
+from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import DecrementOp, TransactionSpec
+from repro.harness.experiments import e01_nonblocking as e01
+from repro.harness.experiments import e06_hotspot as e06
+from repro.net.link import LinkConfig
+from repro.workloads.base import WorkloadConfig, WorkloadDriver
+from repro.workloads.inventory import InventoryWorkload
+
+
+def _e01_params(shards, workers):
+    return e01.Params(partition_durations=[20.0], arrival_rate=0.08,
+                      shards=shards, shard_workers=workers)
+
+
+def _e06_params(shards, workers):
+    return e06.Params(duration=80.0, rebalance_sellers=4,
+                      shards=shards, shard_workers=workers)
+
+
+class TestExperimentOutcomes:
+    def test_e01_dvp_stats_worker_invariant(self):
+        baseline = e01._run_dvp(_e01_params(2, 1), 20.0)
+        assert baseline["decided"] > 0
+        for workers in (2, 4):
+            assert e01._run_dvp(_e01_params(2, workers), 20.0) == baseline
+
+    def test_e01_dvp_stats_match_classic_kernel(self):
+        """Sharding may not change what the experiment measures."""
+        classic = e01._run_dvp(_e01_params(1, 1), 20.0)
+        sharded = e01._run_dvp(_e01_params(2, 1), 20.0)
+        assert sharded == classic
+
+    def test_e06_rebalance_stats_worker_invariant(self):
+        baseline = e06._run_rebalance(_e06_params(2, 1), "demand-weighted")
+        assert baseline["decided"] > 0
+        for workers in (2, 4):
+            assert e06._run_rebalance(_e06_params(2, workers),
+                                      "demand-weighted") == baseline
+
+    def test_e06_rebalance_stats_match_classic_kernel(self):
+        classic = e06._run_rebalance(_e06_params(1, 1), "static-rr")
+        sharded = e06._run_rebalance(_e06_params(3, 1), "static-rr")
+        assert sharded == classic
+
+
+def _e01_style_fingerprint(shards, workers, seed=11):
+    """The E1 scenario shape — partitioned workload plus victim — run
+    with tracing, so the fingerprint contract is tested on a full
+    protocol execution (net, Vm retransmission, timeouts, partitions).
+    """
+    sites = ["W", "X", "Y", "Z"]
+    system = DvPSystem(SystemConfig(
+        sites=sites, seed=seed, txn_timeout=15.0,
+        link=LinkConfig(base_delay=2.0, jitter=1.0),
+        shards=shards, shard_workers=workers))
+    system.sim.enable_trace(limit=0)
+    source = e01.CrossSiteTransfers(sites)
+    for site in sites:
+        system.add_item(source.item_of(site), CounterDomain(), total=120)
+    driver = WorkloadDriver(
+        system.sim, system, sites, source,
+        WorkloadConfig(arrival_rate=0.1, duration=90.0))
+    driver.install()
+    system.sim.at_site(sites[0], 37.5,
+                       lambda: system.submit(sites[0], TransactionSpec(
+                           ops=(DecrementOp(source.item_of(sites[0]),
+                                            120),),
+                           label="victim")),
+                       label="victim")
+    system.sim.at_global(40.0, lambda: system.network.partition(
+        [sites[:2], sites[2:]]), label="partition")
+    system.sim.at_global(60.0, system.network.heal, label="heal")
+    system.run_until(90.0)
+    system.run_for(75.0)
+    system.auditor.assert_ok()
+    return (system.sim.trace_fingerprint(), system.sim.steps,
+            len(system.committed()), len(system.aborted()))
+
+
+def _e06_style_fingerprint(shards, workers, seed=67):
+    """The E6 hot-spot shape: one counter partitioned over all sites."""
+    sites = [f"S{index}" for index in range(6)]
+    system = DvPSystem(SystemConfig(
+        sites=sites, seed=seed, txn_timeout=12.0,
+        link=LinkConfig(base_delay=2.0),
+        shards=shards, shard_workers=workers))
+    system.sim.enable_trace(limit=0)
+    config = WorkloadConfig(arrival_rate=0.08, duration=60.0,
+                            amount_low=1, amount_high=2)
+    source = InventoryWorkload(["hot"], config)
+    system.add_item("hot", CounterDomain(), total=100_000)
+    WorkloadDriver(system.sim, system, sites, source, config).install()
+    system.run_for(60.0 + 12.0 + 60.0)
+    system.auditor.assert_ok()
+    return (system.sim.trace_fingerprint(), system.sim.steps,
+            len(system.committed()))
+
+
+class TestScenarioFingerprints:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_e01_scenario_fingerprint_worker_invariant(self, shards):
+        baseline = _e01_style_fingerprint(shards, 1)
+        assert baseline[2] + baseline[3] > 0   # something was decided
+        for workers in (2, 4, 7):
+            assert _e01_style_fingerprint(shards, workers) == baseline
+
+    def test_e06_scenario_fingerprint_worker_invariant(self):
+        baseline = _e06_style_fingerprint(3, 1)
+        assert baseline[2] > 0
+        for workers in (2, 4):
+            assert _e06_style_fingerprint(3, workers) == baseline
+
+    def test_e01_outcomes_match_classic_kernel(self):
+        """Fingerprints differ between shard counts by construction
+        (per-shard streams); observable protocol outcomes may not."""
+        classic = _e01_style_fingerprint(1, 1)
+        sharded = _e01_style_fingerprint(4, 1)
+        assert sharded[2:] == classic[2:]
+
+
+class TestChaosExploration:
+    """The chaos engine's replay determinism, sharded: every run of a
+    budget-100 exploration must fingerprint identically no matter how
+    many worker lanes execute the shards."""
+
+    CONFIG = ChaosConfig(sites=4, items=2, txns=16, duration=40.0,
+                         settle=100.0, shards=2)
+
+    @pytest.mark.parametrize("seed", [7, 19, 23])
+    def test_budget_100_exploration_worker_invariant(self, seed):
+        def fingerprints(workers):
+            config = replace(self.CONFIG, shard_workers=workers)
+            prints = []
+            report = explore(config, budget=100, master_seed=seed,
+                             on_run=lambda index, result:
+                             prints.append(result.fingerprint))
+            return prints, report
+
+        base_prints, base_report = fingerprints(1)
+        assert len(base_prints) == 100
+        for workers in (2, 4):
+            prints, report = fingerprints(workers)
+            assert prints == base_prints
+            assert len(report.failures) == len(base_report.failures)
+
+    def test_sharded_run_replays_bit_for_bit(self):
+        config = replace(self.CONFIG, shard_workers=3)
+        first = run_chaos(config, FaultPlan(()), seed=7)
+        second = run_chaos(config, FaultPlan(()), seed=7)
+        assert first.fingerprint == second.fingerprint
+        assert not first.failed
+
+    def test_old_artifact_dicts_load_with_shard_defaults(self):
+        """PR 2-5 recorded artifacts carry no shard keys; they must
+        load as shards=1 (the classic kernel, byte-for-byte)."""
+        data = ChaosConfig().to_dict()
+        del data["shards"], data["shard_workers"]
+        config = ChaosConfig.from_dict(data)
+        assert config.shards == 1 and config.shard_workers == 1

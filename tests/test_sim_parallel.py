@@ -1,0 +1,167 @@
+"""The OS-parallel shard executor: worker-count-invariant fingerprints,
+canonical mail order, serial fallback, and the lookahead guard."""
+
+import pytest
+
+from repro.sim.events import HeapEventQueue
+from repro.sim.kernel import LookaheadError
+from repro.sim.parallel import run_parallel
+from repro.sim.shard import ShardPlan
+
+SITES = ["s0", "s1", "s2", "s3", "s4", "s5"]
+
+
+class RingProgram:
+    """Each site forwards a hop counter around the site ring (delay
+    1.5 > lookahead 1.0) while running a local chain; the per-site RNG
+    draws make shard sub-seeding observable in ``collect``."""
+
+    def __init__(self, hops=8, chain=6):
+        self.hops = hops
+        self.chain = chain
+        # Keyed by shard id: one host builds several shards against the
+        # same program object.
+        self._states = {}
+
+    def build(self, sim, shard_id, sites, send):
+        state = {"delivered": [], "draws": [], "local": 0}
+        self._states[shard_id] = state
+
+        def deliver(payload):
+            site, hops = payload
+            state["delivered"].append((sim.now, site, hops))
+            state["draws"].append(
+                sim.rng.stream(f"hop:{site}").random())
+            if hops > 0:
+                here = SITES.index(site)
+                there = SITES[(here + 1) % len(SITES)]
+                send(there, 1.5, (there, hops - 1),
+                     label=f"hop:{there}")
+
+        for site in sites:
+            def tick(site=site, left=self.chain):
+                state["local"] += 1
+                if left > 1:
+                    sim.after(0.4, lambda: tick(site, left - 1),
+                              label=f"tick:{site}")
+            sim.at(0.2, lambda site=site: tick(site),
+                   label=f"tick:{site}")
+        if "s0" in sites:
+            sim.at(0.5, lambda: deliver(("s0", self.hops)),
+                   label="kick")
+        return deliver
+
+    def collect(self, sim, shard_id):
+        state = self._states[shard_id]
+        return {"delivered": state["delivered"],
+                "draws": state["draws"],
+                "local": state["local"],
+                "steps": sim.steps}
+
+
+def ring_plan(shards=3):
+    return ShardPlan.round_robin(SITES, shards, 1.0)
+
+
+class TestWorkerInvariance:
+    def test_serial_and_parallel_agree_exactly(self):
+        results = {workers: run_parallel(ring_plan(), RingProgram(),
+                                         seed=5, workers=workers)
+                   for workers in (0, 1, 2, 3)}
+        baseline = results[0]
+        assert baseline.steps > 0
+        for workers, result in results.items():
+            assert result.fingerprint == baseline.fingerprint, workers
+            assert result.shard_steps == baseline.shard_steps
+            assert result.collected == baseline.collected
+
+    def test_workers_capped_by_shard_count(self):
+        result = run_parallel(ring_plan(shards=2), RingProgram(),
+                              workers=8)
+        assert result.workers == 2
+
+    def test_single_shard_runs_serially(self):
+        result = run_parallel(ring_plan(shards=1), RingProgram(),
+                              workers=4)
+        assert result.workers == 0
+        assert result.shard_steps and result.shard_steps[0] > 0
+
+    def test_collect_is_optional(self):
+        class NoCollect:
+            def build(self, sim, shard_id, sites, send):
+                sim.at(1.0, lambda: None, label="x")
+                return lambda payload: None
+
+        result = run_parallel(ring_plan(), NoCollect(), workers=0)
+        assert result.collected == [None, None, None]
+
+    def test_queue_factory_passes_through(self):
+        calendar = run_parallel(ring_plan(), RingProgram(), seed=5,
+                                workers=0)
+        heap = run_parallel(ring_plan(), RingProgram(), seed=5,
+                            workers=0, queue_factory=HeapEventQueue)
+        assert heap.fingerprint == calendar.fingerprint
+
+
+class TestProtocol:
+    def test_until_truncates_consistently(self):
+        serial = run_parallel(ring_plan(), RingProgram(hops=40),
+                              workers=0, until=6.0)
+        parallel = run_parallel(ring_plan(), RingProgram(hops=40),
+                                workers=3, until=6.0)
+        full = run_parallel(ring_plan(), RingProgram(hops=40), workers=0)
+        assert serial.fingerprint == parallel.fingerprint
+        assert serial.steps < full.steps
+
+    def test_short_cross_shard_send_raises(self):
+        class TooClose:
+            def build(self, sim, shard_id, sites, send):
+                if "s0" in sites:
+                    sim.at(1.0, lambda: send("s1", 0.25, "late"),
+                           label="bad")
+                return lambda payload: None
+
+        with pytest.raises(LookaheadError):
+            run_parallel(ring_plan(), TooClose(), workers=0)
+
+    def test_local_send_below_lookahead_is_fine(self):
+        class LocalFast:
+            def build(self, sim, shard_id, sites, send):
+                got = []
+                if "s0" in sites:
+                    # s0 and s3 share shard 0 under round-robin(3).
+                    sim.at(1.0, lambda: send("s3", 0.1, "quick"),
+                           label="send")
+                return got.append
+
+        result = run_parallel(ring_plan(), LocalFast(), workers=0)
+        assert result.steps == 2
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_parallel(ring_plan(), RingProgram(), workers=-1)
+
+    def test_mail_reaches_every_destination_handler(self):
+        """Regression: batch delivery must bind each payload to *its*
+        destination's deliver, not the batch's last one."""
+        class FanOut:
+            def __init__(self):
+                self._received = {}
+
+            def build(self, sim, shard_id, sites, send):
+                received = self._received.setdefault(shard_id, [])
+                if "s0" in sites:
+                    def blast():
+                        for site in SITES[1:]:
+                            send(site, 2.0, f"for:{site}",
+                                 label=f"blast:{site}")
+                    sim.at(0.5, blast, label="blast")
+                return lambda payload: received.append(payload)
+
+            def collect(self, sim, shard_id):
+                return sorted(self._received[shard_id])
+
+        for workers in (0, 3):
+            result = run_parallel(ring_plan(), FanOut(), workers=workers)
+            flat = sorted(sum(result.collected, []))
+            assert flat == sorted(f"for:{site}" for site in SITES[1:])
