@@ -1,0 +1,27 @@
+"""Bench E13: regenerate the reshard-under-load table.
+
+See ``repro.harness.experiments.e13_reshard`` for the experiment
+design and docs/PARTITIONING.md for the migration protocol it stresses.
+"""
+
+from repro.harness.experiments import e13_reshard as experiment_module
+
+
+def test_e13(experiment):
+    table = experiment(experiment_module)
+    # Columns: sites, reshard, before%, during%, after%, ships,
+    # value moved, epochs, msgs.
+    off_rows = [row for row in table.rows if row[1] == "off"]
+    on_rows = [row for row in table.rows if row[1] == "join+leave"]
+    assert off_rows and len(off_rows) == len(on_rows)
+    # Without topology changes nothing migrates and no epoch bumps.
+    assert all(row[5] == 0 and row[7] == 0 for row in off_rows)
+    # A join plus a decommission is two epochs, and the decommission
+    # drain always ships the leaver's fragments.
+    assert all(row[7] == 2 for row in on_rows)
+    assert all(row[5] > 0 and row[6] > 0 for row in on_rows)
+    # The reshard must not collapse the commit rate: every phase stays
+    # within 20 points of the undisturbed run at the same scale.
+    for off, on in zip(off_rows, on_rows):
+        for column in (2, 3, 4):
+            assert on[column] >= off[column] - 20.0

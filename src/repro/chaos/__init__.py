@@ -18,11 +18,13 @@ from repro.chaos.artifact import (
     default_name,
 )
 from repro.chaos.explore import (
+    JOINER_POOL,
     ExploreReport,
     FailureCase,
     FaultGrammar,
     GrammarWeights,
     explore,
+    reshard_grammar,
     run_seed_for,
     sample_plan,
 )
@@ -33,6 +35,7 @@ from repro.chaos.oracles import (
     default_oracles,
 )
 from repro.chaos.plan import (
+    AddSite,
     CrashSite,
     FaultAction,
     FaultPlan,
@@ -41,17 +44,21 @@ from repro.chaos.plan import (
     PartitionNet,
     PlanError,
     RecoverSite,
+    RemoveSite,
+    Reshard,
     SkewTick,
 )
 from repro.chaos.runner import ChaosConfig, ChaosResult, run_chaos
 from repro.chaos.shrink import ShrinkResult, shrink
 
 __all__ = [
-    "AuditorOracle", "ChaosConfig", "ChaosResult", "CrashSite",
-    "ExploreReport", "FailureCase", "FaultAction", "FaultGrammar",
-    "FaultPlan", "GrammarWeights", "HealNet", "LinkFaultWindow",
-    "PartitionNet", "PlanError", "ProgressOracle", "RecoverSite",
-    "ReproArtifact", "SerialOracle", "ShrinkResult", "SkewTick",
+    "AddSite", "AuditorOracle", "ChaosConfig", "ChaosResult",
+    "CrashSite", "ExploreReport", "FailureCase", "FaultAction",
+    "FaultGrammar", "FaultPlan", "GrammarWeights", "HealNet",
+    "JOINER_POOL", "LinkFaultWindow", "PartitionNet", "PlanError",
+    "ProgressOracle", "RecoverSite", "RemoveSite", "ReproArtifact",
+    "Reshard", "SerialOracle", "ShrinkResult", "SkewTick",
     "TRACE_TAIL_EVENTS", "default_name", "default_oracles", "explore",
-    "run_chaos", "run_seed_for", "sample_plan", "shrink",
+    "reshard_grammar", "run_chaos", "run_seed_for", "sample_plan",
+    "shrink",
 ]

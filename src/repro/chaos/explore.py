@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.chaos.plan import (
+    AddSite,
     CrashSite,
     FaultAction,
     FaultPlan,
@@ -30,8 +31,15 @@ from repro.chaos.plan import (
     LinkFaultWindow,
     PartitionNet,
     RecoverSite,
+    RemoveSite,
+    Reshard,
     SkewTick,
 )
+
+#: Names AddSite motifs draw from, in preference order. Fixed so the
+#: sampled plan is a pure function of (seed, index) and needs no config
+#: field; guards skip a name that already joined.
+JOINER_POOL = ("E0", "E1", "E2")
 from repro.chaos.runner import ChaosConfig, ChaosResult, run_chaos
 from repro.sim.random import derive_seed
 
@@ -47,11 +55,20 @@ class GrammarWeights:
     link_down: float = 1.0
     link_reorder: float = 1.0
     skew: float = 1.0
+    #: Elastic-topology motifs (docs/PARTITIONING.md). Default weight 0
+    #: keeps every pre-existing exploration digest byte-stable: the
+    #: zero-weight tail entries can never be drawn, and appending them
+    #: to the cumulative-weight table does not change which index any
+    #: existing draw selects. Use :func:`reshard_grammar` to enable.
+    add_site: float = 0.0
+    remove_site: float = 0.0
+    reshard: float = 0.0
 
     def normalized(self) -> list[tuple[str, float]]:
         pairs = [(name, getattr(self, name)) for name in (
             "crash", "partition", "link_loss", "link_dup", "link_down",
-            "link_reorder", "skew")]
+            "link_reorder", "skew",
+            "add_site", "remove_site", "reshard")]
         total = sum(weight for _name, weight in pairs)
         if total <= 0:
             raise ValueError("fault grammar has no positive weights")
@@ -100,6 +117,12 @@ class FaultGrammar:
             return out
         if motif == "skew":
             return [SkewTick(at=start, site=rng.choice(sites))]
+        if motif == "add_site":
+            return [AddSite(at=start, site=rng.choice(JOINER_POOL))]
+        if motif == "remove_site":
+            return [RemoveSite(at=start, site=rng.choice(sites))]
+        if motif == "reshard":
+            return [Reshard(at=start, replicas=rng.choice([1, 2]))]
         # Directed link windows.
         src, dst = rng.sample(sites, 2)
         window = rng.uniform(3.0, 0.4 * duration)
@@ -162,10 +185,15 @@ class ExploreReport:
                      f":{self.config.rebalance_period:g}")
         bundling = ("" if self.config.bundle_flush_delay is None else
                     f" bundle={self.config.bundle_flush_delay:g}")
+        partition = ("" if self.config.partitioner == "all" else
+                     f" partitioner={self.config.partitioner}" +
+                     ("" if self.config.replicas is None else
+                      f"/{self.config.replicas}"))
         lines = [f"chaos explore: budget={self.budget} "
                  f"seed={self.master_seed} sites={self.config.sites} "
                  f"items={self.config.items} txns={self.config.txns} "
-                 f"duration={self.config.duration:g}{rebalance}{bundling}",
+                 f"duration={self.config.duration:g}"
+                 f"{rebalance}{bundling}{partition}",
                  f"plans run: {self.runs}  failing: {len(self.failures)}"]
         for case in self.failures:
             lines.append(f"  plan #{case.index} (run seed {case.seed}) "
@@ -176,6 +204,16 @@ class ExploreReport:
                     lines.append(f"    [{oracle}] {message}")
         lines.append(f"exploration digest: {self.digest()}")
         return "\n".join(lines)
+
+
+def reshard_grammar(weights: GrammarWeights | None = None
+                    ) -> FaultGrammar:
+    """A grammar that mixes elastic-topology motifs (site joins,
+    decommissions, replica reshards) into the standard fault families —
+    the schedule space for docs/PARTITIONING.md's migration claims."""
+    base = weights or GrammarWeights()
+    return FaultGrammar(weights=replace(
+        base, add_site=2.0, remove_site=1.5, reshard=1.0))
 
 
 def run_seed_for(master_seed: int, index: int) -> int:
@@ -221,4 +259,5 @@ def explore(config: ChaosConfig, budget: int, master_seed: int,
 
 
 __all__ = ["GrammarWeights", "FaultGrammar", "FailureCase",
-           "ExploreReport", "explore", "sample_plan", "run_seed_for"]
+           "ExploreReport", "explore", "sample_plan", "run_seed_for",
+           "reshard_grammar", "JOINER_POOL"]

@@ -216,9 +216,107 @@ class SkewTick(FaultAction):
                            label=f"chaos:skew:{self.site}")
 
 
+@dataclass(frozen=True)
+class AddSite(FaultAction):
+    """Join a new site ``site`` to the topology at ``at``.
+
+    The name is *not* validated against the config's site list — it is
+    a site that does not exist yet (``sites_used`` returns nothing).
+    The fire guard skips when the name is already present or another
+    reshard is still migrating, so sampled schedules never fault the
+    run itself.
+    """
+
+    site: str = ""
+    kind: ClassVar[str] = "add-site"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.site:
+            raise PlanError("add-site needs a site name")
+
+    def schedule(self, system: "DvPSystem") -> None:
+        from repro.core.migration import ReshardInProgress
+
+        def fire() -> None:
+            if self.site in system.sites:
+                return
+            try:
+                system.add_site(self.site)
+            except ReshardInProgress:
+                pass
+
+        # Topology-wide: the directory epoch bump and the new site's
+        # shard adoption must happen at a consistent cut.
+        system.sim.at_global(self.at, fire,
+                             label=f"chaos:add-site:{self.site}")
+
+
+@dataclass(frozen=True)
+class RemoveSite(FaultAction):
+    """Decommission ``site`` at ``at``, draining its fragments.
+
+    The guard skips dead, already-decommissioned, or missing sites and
+    overlapping reshards — removal is only *attempted* when legal, so
+    any schedule the grammar samples runs to completion.
+    """
+
+    site: str = ""
+    kind: ClassVar[str] = "remove-site"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.site:
+            raise PlanError("remove-site needs a site name")
+
+    def sites_used(self) -> tuple[str, ...]:
+        return (self.site,)
+
+    def schedule(self, system: "DvPSystem") -> None:
+        from repro.core.migration import ReshardInProgress
+        from repro.core.site import SiteDown
+
+        def fire() -> None:
+            site = system.sites.get(self.site)
+            if site is None or not site.alive or site.decommissioned:
+                return
+            if self.site not in system.directory.sites:
+                return
+            if len(system.directory.sites) == 1:
+                return
+            try:
+                system.remove_site(self.site)
+            except (ReshardInProgress, SiteDown):
+                pass
+
+        system.sim.at_global(self.at, fire,
+                             label=f"chaos:remove-site:{self.site}")
+
+
+@dataclass(frozen=True)
+class Reshard(FaultAction):
+    """Change the directory's replica count to ``replicas`` at ``at``
+    (None = every site owns every item), migrating fragments."""
+
+    replicas: int | None = None
+    kind: ClassVar[str] = "reshard"
+
+    def schedule(self, system: "DvPSystem") -> None:
+        from repro.core.migration import ReshardInProgress
+
+        def fire() -> None:
+            try:
+                system.reshard(self.replicas)
+            except ReshardInProgress:
+                pass
+
+        system.sim.at_global(self.at, fire, label="chaos:reshard")
+
+
 ACTION_TYPES: dict[str, type[FaultAction]] = {
     cls.kind: cls for cls in (CrashSite, RecoverSite, PartitionNet,
-                              HealNet, LinkFaultWindow, SkewTick)}
+                              HealNet, LinkFaultWindow, SkewTick,
+                              AddSite, RemoveSite, Reshard)}
 
 
 def action_from_dict(data: dict[str, Any]) -> FaultAction:
@@ -312,5 +410,6 @@ class FaultPlan:
 __all__ = [
     "FaultAction", "FaultPlan", "PlanError", "CrashSite", "RecoverSite",
     "PartitionNet", "HealNet", "LinkFaultWindow", "SkewTick",
+    "AddSite", "RemoveSite", "Reshard",
     "ACTION_TYPES", "action_from_dict",
 ]

@@ -81,6 +81,12 @@ class ChaosConfig:
     #: Worker-lane count for the sharded kernel's schedule; any value
     #: must produce the same fingerprint (the determinism tests pin it).
     shard_workers: int = 1
+    #: Partitioner name for the placement directory ("all" = the seed
+    #: behaviour: every site owns every item). Old recorded artifacts
+    #: carry no key and load as "all", replaying byte-for-byte.
+    partitioner: str = "all"
+    #: Owners per item under non-"all" partitioners (None: every site).
+    replicas: int | None = None
 
     def site_names(self) -> list[str]:
         return [f"S{index}" for index in range(self.sites)]
@@ -232,7 +238,8 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
         link=LinkConfig(base_delay=config.base_delay,
                         jitter=config.base_jitter),
         bundling=bundling,
-        shards=config.shards, shard_workers=config.shard_workers))
+        shards=config.shards, shard_workers=config.shard_workers,
+        partitioner=config.partitioner, replicas=config.replicas))
     result = ChaosResult(config=config, plan=plan, seed=seed, system=system)
     per_site = _quota_split(config, seed)
     for item in config.item_names():
@@ -283,15 +290,32 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
 
 
 def _quota_split(config: ChaosConfig, seed: int) -> dict[str, dict[str, int]]:
-    """Deterministic uneven initial quotas (forces early Vm traffic)."""
+    """Deterministic uneven initial quotas (forces early Vm traffic).
+
+    Under a non-"all" partitioner the quota goes only to each item's
+    directory owners (non-owners start at zero — the combine identity).
+    One weight is drawn per site regardless, so the draw sequence — and
+    with it every pre-existing exploration digest — is byte-identical
+    when ``partitioner="all"`` (where owners == all sites anyway).
+    """
+    from repro.core.partition import Directory, make_partitioner
+
     rng = random.Random(derive_seed(seed, "chaos:quotas"))
+    directory = Directory(make_partitioner(config.partitioner),
+                          tuple(config.site_names()),
+                          replicas=config.replicas)
     split: dict[str, dict[str, int]] = {}
     for item in config.item_names():
         names = config.site_names()
-        weights = [rng.randint(1, 5) for _ in names]
+        owners = set(directory.owners(item))
+        drawn = [rng.randint(1, 5) for _ in names]
+        weights = [weight if name in owners else 0
+                   for name, weight in zip(names, drawn)]
         scale = config.total / sum(weights)
         quotas = [int(weight * scale) for weight in weights]
-        quotas[0] += config.total - sum(quotas)
+        first_owner = next(i for i, name in enumerate(names)
+                           if name in owners)
+        quotas[first_owner] += config.total - sum(quotas)
         split[item] = dict(zip(names, quotas))
     return split
 

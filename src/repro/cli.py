@@ -109,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = commands.add_parser("run", help="run an experiment")
     run_parser.add_argument("experiment",
-                            help="experiment id (E1..E11) or 'all'")
+                            help="experiment id (E1..E13) or 'all'")
     run_parser.add_argument("--full", action="store_true",
                             help="full preset (EXPERIMENTS.md numbers)")
     run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -162,6 +162,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="enable transport bundling with this "
                                    "flush window in virtual time "
                                    "(default: bundling off)")
+    chaos_parser.add_argument("--partitioner", default="all",
+                              choices=["all", "hash", "range",
+                                       "consistent"],
+                              help="placement directory partitioner "
+                                   "(default 'all': every site owns "
+                                   "every item, the seed behaviour)")
+    chaos_parser.add_argument("--replicas", type=int, default=None,
+                              metavar="K",
+                              help="owners per item under a non-'all' "
+                                   "partitioner (default: every site)")
+    chaos_parser.add_argument("--reshard", action="store_true",
+                              help="sample elastic-topology motifs too "
+                                   "(site joins, decommissions, replica "
+                                   "reshards; see docs/PARTITIONING.md)")
     chaos_parser.add_argument("--sites", type=int, default=4)
     chaos_parser.add_argument("--items", type=int, default=2)
     chaos_parser.add_argument("--txns", type=int, default=24)

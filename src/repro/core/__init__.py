@@ -16,11 +16,19 @@ from repro.core.domain import (
     MoneyDomain,
     TokenSetDomain,
 )
+from repro.core.migration import MigrationController, ReshardInProgress
 from repro.core.operators import (
     BoundedDecrement,
     Increment,
     PartitionableOperator,
     SetToZero,
+)
+from repro.core.partition import (
+    PARTITIONERS,
+    Directory,
+    Router,
+    StaleEpoch,
+    make_partitioner,
 )
 from repro.core.system import DvPSystem, SystemConfig
 from repro.core.transactions import (
@@ -39,8 +47,15 @@ __all__ = [
     "BoundedDecrement",
     "CounterDomain",
     "DecrementOp",
+    "Directory",
     "Domain",
     "DvPSystem",
+    "MigrationController",
+    "PARTITIONERS",
+    "ReshardInProgress",
+    "Router",
+    "StaleEpoch",
+    "make_partitioner",
     "Increment",
     "IncrementOp",
     "MoneyDomain",

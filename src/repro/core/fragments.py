@@ -136,6 +136,12 @@ class FragmentStore:
                     self.write(item, value - 1, self.pages.page_lsn(item))
                     break
 
+    def non_zero_items(self) -> list[str]:
+        """Items whose local fragment currently carries value — what a
+        decommission drain (repro.core.migration) still has to move."""
+        return [item for item, domain in self._domains.items()
+                if not domain.is_zero(self.pages.read(item))]
+
     def snapshot(self) -> dict[str, Any]:
         """Item → value view, used by audits and checkpoints."""
         return {item: self.pages.read(item) for item in self._domains}

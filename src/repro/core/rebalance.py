@@ -136,7 +136,9 @@ class RebalanceDaemon:
         with their first-seen value as the default target — a snapshot
         taken once at start would silently exempt them forever.
         """
-        if not self.site.alive:
+        if not self.site.alive or self.site.decommissioned:
+            # A decommissioned site's value is being drained by the
+            # migration controller; planning against it would fight it.
             return
         for item in list(self.site.fragments.items()):
             value = self.site.fragments.value(item)
@@ -155,16 +157,21 @@ class RebalanceDaemon:
 
     # -- live-topology view ----------------------------------------------
 
-    def _live_peers(self) -> list[str]:
-        """Peers worth planning toward: up and reachable right now.
+    def _live_peers(self, item: str) -> list[str]:
+        """Peers worth planning toward: the item's directory owners
+        that are up and reachable right now.
 
         Shipping to a crashed or partitioned-away peer is legal but
         useless — the Vm strands in flight while the local fragment has
         already been drained. The liveness registry is planning-only
-        input (the transport still never reports failures).
+        input (the transport still never reports failures). Placement
+        comes from the site's router (``peers_for``), so under a
+        non-"all" partitioner the planner moves value only among the
+        item's owners; under "all" this is exactly the old full peer
+        list.
         """
         site = self.site
-        return [peer for peer in site.peers()
+        return [peer for peer in site.peers_for(item)
                 if site.network.is_up(peer)
                 and site.network.reachable(site.name, peer)]
 
@@ -179,7 +186,7 @@ class RebalanceDaemon:
         surplus = value - target
         if self.config.max_ship is not None:
             surplus = min(surplus, self.config.max_ship)
-        candidates = self._live_peers()
+        candidates = self._live_peers(item)
         if not candidates:
             return
         peer = self.policy.push_target(site.demand, item, candidates)
@@ -230,7 +237,7 @@ class RebalanceDaemon:
         need = target - value
         if need <= 0:
             return
-        candidates = self._live_peers()
+        candidates = self._live_peers(item)
         if not candidates:
             return
         peer = self.policy.pull_source(site.demand, item, candidates)

@@ -143,6 +143,13 @@ class DemandTracker:
             return 0.0
         return score.read(self.sim.now, self.half_life)
 
+    def forget_peer(self, peer: str) -> None:
+        """*peer* left the topology: drop its demand/wealth evidence so
+        the planner stops pushing toward (or pulling from) it."""
+        for table in (self._remote, self._wealth):
+            for key in [key for key in table if key[0] == peer]:
+                del table[key]
+
     def reset(self) -> None:
         """Crash: the ledger is volatile state and does not survive."""
         self._local.clear()

@@ -115,6 +115,13 @@ class DvPSite:
         #: by DvPSystem after construction; the notify methods below
         #: look it up late so VmManagers rebuilt by recovery stay wired.
         self.observer = None
+        #: Placement router (repro.core.partition.Router). Set by
+        #: DvPSystem after construction; None = static topology (every
+        #: peer owns every item — the seed behaviour).
+        self.router = None
+        #: True once the directory dropped this site (System.remove_site).
+        #: The site stays alive and registered until its value drains.
+        self.decommissioned = False
         self.locks = LockTable()
         self.clock = LamportClock(rank)
         #: Decayed demand/wealth ledger feeding the rebalance planner
@@ -174,6 +181,27 @@ class DvPSite:
     def peers(self) -> list[str]:
         """Every other site (all sites hold fragments of all items)."""
         return [site for site in self.network.sites if site != self.name]
+
+    def current_epoch(self) -> int:
+        """The directory epoch placement is currently resolved against."""
+        if self.router is None:
+            return 0
+        return self.router.directory.epoch
+
+    def peers_for(self, item: str, epoch_hint: int | None = None
+                  ) -> list[str]:
+        """Peers worth asking for *item*'s value: its directory owners.
+
+        Falls back to :meth:`peers` with no router (static topology)
+        or when this site is the item's only owner — a transaction
+        short of value may still find it at a non-owner holding strays
+        (reads always fan to everyone, so nothing is unreachable).
+        """
+        if self.router is None:
+            return self.peers()
+        owners, _epoch = self.router.route(item, epoch_hint)
+        targets = [site for site in owners if site != self.name]
+        return targets or self.peers()
 
     # -- client API -------------------------------------------------------
 

@@ -20,12 +20,24 @@ from typing import Any, Callable
 from repro.core.cc import make_cc
 from repro.core.domain import Domain
 from repro.core.invariants import AuditReport, ConservationAuditor
+from repro.core.migration import (
+    MigrationController,
+    ReshardInProgress,
+    plan_moves,
+)
+from repro.core.partition import (
+    PARTITIONERS,
+    Directory,
+    Router,
+    make_partitioner,
+)
 from repro.core.policies import make_policy
 from repro.core.recovery import RecoveryReport
-from repro.core.site import DvPSite, SiteConfig
+from repro.core.site import DvPSite, SiteConfig, SiteDown
 from repro.core.transactions import Transaction, TransactionSpec, TxnResult
 from repro.net.link import LinkConfig
 from repro.net.network import Network
+from repro.obs.events import DirectoryEpoch, SiteDecommission, SiteJoin
 from repro.net.outbox import BundlingConfig
 from repro.net.sync import SynchronousNetwork
 from repro.sim.kernel import Simulator
@@ -67,6 +79,13 @@ class SystemConfig:
     #: schedule (shard i -> worker i % shard_workers). Any value yields
     #: the same trace fingerprint; it exists so tests can prove that.
     shard_workers: int = 1
+    #: Placement function for the partition directory
+    #: (repro.core.partition; docs/PARTITIONING.md). "all" = every site
+    #: owns every item, byte-for-byte the seed behaviour.
+    partitioner: str = "all"
+    #: Owner-set size per item (None = all directory sites). Ignored by
+    #: the "all" partitioner.
+    replicas: int | None = None
 
     def __post_init__(self) -> None:
         if len(set(self.sites)) != len(self.sites):
@@ -77,6 +96,12 @@ class SystemConfig:
             raise ValueError("shards must be >= 1")
         if self.shard_workers < 1:
             raise ValueError("shard_workers must be >= 1")
+        if self.partitioner not in PARTITIONERS:
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"choose from {sorted(PARTITIONERS)}")
+        if self.replicas is not None and self.replicas < 1:
+            raise ValueError("replicas must be >= 1 (or None)")
 
 
 class DvPSystem:
@@ -117,6 +142,13 @@ class DvPSystem:
                                   **self.config.policy_kwargs)
         self.results: list[TxnResult] = []
         self._result_hooks: list[Callable[[TxnResult], None]] = []
+        self.directory = Directory(
+            make_partitioner(self.config.partitioner),
+            self.config.sites, replicas=self.config.replicas)
+        self.router = Router(self.directory)
+        self._items: dict[str, Domain] = {}
+        self._migration: MigrationController | None = None
+        self.migrations: list[MigrationController] = []
         site_config = SiteConfig(
             txn_timeout=self.config.txn_timeout,
             retransmit_period=self.config.retransmit_period,
@@ -127,6 +159,7 @@ class DvPSystem:
             coalesce_acks=(self.config.coalesce_acks
                            if self.config.coalesce_acks is not None
                            else self.config.bundling is not None))
+        self._site_config = site_config
         self.sites: dict[str, DvPSite] = {}
         for rank, name in enumerate(self.config.sites):
             # Built in the site's own scheduling context so anything a
@@ -138,10 +171,13 @@ class DvPSystem:
                     name, rank, self.sim, self.network, self.cc,
                     self.policy, site_config,
                     on_result=self._record_result))
+        self._next_rank = len(self.config.sites)
         # The auditor hooks into the sites' fragment stores and Vm
         # lifecycles (incremental accounting), so it attaches after
         # the sites exist.
         self.auditor = ConservationAuditor(self)
+        for site in self.sites.values():
+            site.router = self.router
 
     # -- item registration --------------------------------------------------
 
@@ -152,28 +188,157 @@ class DvPSystem:
 
         Either give an explicit *split* (site -> initial fragment) or a
         *total* to divide as evenly as the domain allows (counters
-        only). Sites absent from the split start with the zero value.
+        only) across the item's directory owners. Sites absent from
+        the split start with the zero value — every site registers the
+        item (zero fragments are combine identities, so non-owners are
+        conservation-neutral and can still absorb stray Vm).
         """
         if split is None:
             if total is None:
                 raise ValueError("provide either split or total")
-            split = self._even_split(domain, total)
+            split = self._even_split(domain, total,
+                                     self.directory.owners(item))
         for name in split:
             if name not in self.sites:
                 raise KeyError(f"unknown site {name!r} in split")
         for name, site in self.sites.items():
             initial = split.get(name, domain.zero())
             site.fragments.register(item, domain, initial)
+        self._items[item] = domain
         self.auditor.register_item(item, domain,
                                    domain.pi(split.values()))
 
-    def _even_split(self, domain: Domain, total: Any) -> dict[str, Any]:
+    def _even_split(self, domain: Domain, total: Any,
+                    names: "tuple[str, ...] | list[str]"
+                    ) -> dict[str, Any]:
         if not isinstance(total, int):
             raise ValueError("even split requires an integer total")
-        names = list(self.sites)
+        names = list(names)
         base, leftover = divmod(total, len(names))
         return {name: base + (1 if index < leftover else 0)
                 for index, name in enumerate(names)}
+
+    # -- elastic topology (docs/PARTITIONING.md) ----------------------------
+
+    @property
+    def reshard_in_progress(self) -> bool:
+        return self._migration is not None and not self._migration.done
+
+    def _check_reshardable(self) -> None:
+        if self.reshard_in_progress:
+            raise ReshardInProgress(
+                "a topology change is already migrating; wait for it "
+                "to drain before requesting another")
+
+    def _emit_epoch(self, reason: str, site: str = "") -> None:
+        if self.sim.obs.enabled:
+            self.sim.obs.emit(DirectoryEpoch(
+                t=self.sim.now, epoch=self.directory.epoch,
+                reason=reason, site=site,
+                sites=len(self.directory.sites)))
+
+    def _snapshot_owners(self) -> dict[str, tuple[str, ...]]:
+        return {item: self.directory.owners(item) for item in self._items}
+
+    def _start_migration(self, old: dict[str, tuple[str, ...]],
+                         drain: str | None = None) -> MigrationController:
+        new = self._snapshot_owners()
+        controller = MigrationController(
+            self, plan_moves(old, new), self.directory.epoch,
+            drain=drain)
+        self._migration = controller
+        self.migrations.append(controller)
+        controller.start()
+        return controller
+
+    def _migration_finished(self, controller: MigrationController) -> None:
+        if self._migration is controller:
+            self._migration = None
+
+    def add_site(self, name: str) -> DvPSite:
+        """Join *name* to the running topology.
+
+        The new site starts with zero fragments of every known item
+        (conservation-neutral), the directory epoch bumps, and a
+        migration controller moves whatever value the new placement
+        assigns to the joiner — as ordinary transfer Vm, audited like
+        any other redistribution. Call from setup code or a global
+        (barrier) event.
+        """
+        if name in self.sites:
+            raise ValueError(f"site {name!r} already exists")
+        self._check_reshardable()
+        self.sim.adopt_site(name)
+        rank = self._next_rank
+        self._next_rank += 1
+        site = self.sim.call_in_site(
+            name,
+            lambda: DvPSite(name, rank, self.sim, self.network, self.cc,
+                            self.policy, self._site_config,
+                            on_result=self._record_result))
+        self.sites[name] = site
+        site.observer = self.auditor
+        site.fragments.observer = self.auditor
+        site.router = self.router
+        for item, domain in self._items.items():
+            self.sim.call_in_site(
+                name, lambda item=item, domain=domain:
+                site.fragments.register(item, domain, domain.zero()))
+        old = self._snapshot_owners()
+        self.directory.add_site(name)
+        if self.sim.obs.enabled:
+            self.sim.obs.emit(SiteJoin(t=self.sim.now, site=name,
+                                       epoch=self.directory.epoch))
+        self._emit_epoch("add-site", name)
+        self._start_migration(old)
+        return site
+
+    def remove_site(self, name: str) -> MigrationController:
+        """Decommission *name*: remove it from the directory and drain
+        its fragments to the surviving owners.
+
+        The site object stays alive and network-registered until every
+        Vm it ever sent is acknowledged — removal changes *placement*,
+        never destroys state. A crashed site cannot be removed (its
+        stable log still holds fragment value); recover it first.
+        """
+        if name not in self.sites:
+            raise KeyError(f"unknown site {name!r}")
+        site = self.sites[name]
+        if not site.alive:
+            raise SiteDown(
+                f"site {name!r} is down; its stable fragments must be "
+                "recovered before they can be migrated away")
+        if site.decommissioned:
+            raise ValueError(f"site {name!r} is already decommissioned")
+        if name not in self.directory.sites:
+            raise ValueError(f"site {name!r} is not in the directory")
+        self._check_reshardable()
+        old = self._snapshot_owners()
+        # The leaver drains everything it holds, owner or not —
+        # plan_moves treats it as an old owner of every item, and the
+        # controller's drain rescan catches value arriving later.
+        for item in old:
+            if name not in old[item]:
+                old[item] = old[item] + (name,)
+        self.directory.remove_site(name)
+        site.decommissioned = True
+        for other in self.sites.values():
+            if other is not site:
+                other.demand.forget_peer(name)
+        if self.sim.obs.enabled:
+            self.sim.obs.emit(SiteDecommission(
+                t=self.sim.now, site=name, epoch=self.directory.epoch))
+        self._emit_epoch("remove-site", name)
+        return self._start_migration(old, drain=name)
+
+    def reshard(self, replicas: int | None) -> MigrationController:
+        """Change the per-item owner-set size and migrate accordingly."""
+        self._check_reshardable()
+        old = self._snapshot_owners()
+        self.directory.set_replicas(replicas)
+        self._emit_epoch("reshard")
+        return self._start_migration(old)
 
     # -- transactions -------------------------------------------------------
 

@@ -214,6 +214,10 @@ class Transaction:
         self.timeout = timeout
         self.id = site.next_txn_id()
         self.ts = site.clock.next()
+        #: Directory epoch this transaction resolved placement against.
+        #: The migration controller's fence waits for transactions with
+        #: older epochs to drain before moving fragments.
+        self.epoch = site.current_epoch()
         self.state = _State.NEW
         self.submitted_at = site.sim.now
         self.requests_sent = 0
@@ -307,8 +311,13 @@ class Transaction:
             # of *item* than its fragment holds (local pressure).
             self.site.demand.note_shortfall(item, deficit)
             rng = self.site.sim.rng.stream(f"policy:{self.site.name}")
+            # Transfer requests target the item's directory owners
+            # (identical to *peers* under the "all" partitioner); reads
+            # above always fan to everyone, since any site may hold
+            # stray value.
+            targets = self.site.peers_for(item, self.epoch)
             for peer, ask in self.site.policy.targets(
-                    self.site.name, peers, deficit, domain, rng):
+                    self.site.name, targets, deficit, domain, rng):
                 self.site.send_request(peer, DataRequest(
                     txn_id=self.id, origin=self.site.name, item=item,
                     mode=TRANSFER_MODE, need=ask, ts=self.ts))

@@ -31,6 +31,7 @@ from repro.chaos import (
     ReproArtifact,
     default_name,
     explore,
+    reshard_grammar,
     shrink,
 )
 from repro.core import fragments
@@ -47,7 +48,9 @@ def config_from_args(args) -> ChaosConfig:
                        rebalance_period=getattr(args, "rebalance_period",
                                                 6.0),
                        bundle_flush_delay=getattr(args, "bundle_delay",
-                                                  None))
+                                                  None),
+                       partitioner=getattr(args, "partitioner", "all"),
+                       replicas=getattr(args, "replicas", None))
 
 
 def explore_main(args, out: "TextIO | None" = None) -> int:
@@ -57,8 +60,10 @@ def explore_main(args, out: "TextIO | None" = None) -> int:
     previous = fragments.test_leak()
     fragments.set_test_leak(args.inject)
     try:
+        grammar = (reshard_grammar() if getattr(args, "reshard", False)
+                   else None)
         report = explore(config, budget=args.budget,
-                         master_seed=args.seed)
+                         master_seed=args.seed, grammar=grammar)
         print(report.describe(), file=out)
         if report.ok:
             return 0

@@ -21,6 +21,7 @@ _MODULES = {
     "E10": "e10_cc_schemes",
     "E11": "e11_hybrid",
     "E12": "e12_rebalance",
+    "E13": "e13_reshard",
 }
 
 

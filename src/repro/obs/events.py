@@ -237,6 +237,60 @@ class RebalPull(TraceEvent):
     policy: str = ""
 
 
+# -- partition directory + migration (docs/PARTITIONING.md) ------------------
+
+@dataclass(frozen=True)
+class DirectoryEpoch(TraceEvent):
+    """The partition directory advanced to a new epoch."""
+
+    kind: ClassVar[str] = "dir.epoch"
+    epoch: int = 0
+    reason: str = ""
+    site: str = ""
+    sites: int = 0
+
+
+@dataclass(frozen=True)
+class MigrationShip(TraceEvent):
+    """The migration controller moved a fragment toward its new owner
+    (an ordinary transfer-mode Vm; the auditor sees nothing special)."""
+
+    kind: ClassVar[str] = "migrate.ship"
+    site: str = ""
+    dst: str = ""
+    item: str = ""
+    amount: Any = None
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class MigrationDone(TraceEvent):
+    """Every planned move of a reshard was shipped and accepted."""
+
+    kind: ClassVar[str] = "migrate.done"
+    epoch: int = 0
+    moves: int = 0
+    fence_waits: int = 0
+
+
+@dataclass(frozen=True)
+class SiteJoin(TraceEvent):
+    """A new site joined the running topology."""
+
+    kind: ClassVar[str] = "site.join"
+    site: str = ""
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class SiteDecommission(TraceEvent):
+    """A site left the directory (stays alive to drain its value)."""
+
+    kind: ClassVar[str] = "site.decommission"
+    site: str = ""
+    epoch: int = 0
+
+
 # -- site --------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -282,6 +336,8 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         VmCreate, VmTransmit, VmRetransmit, VmDuplicateDiscard,
         VmAccept, VmAckSent,
         RebalShip, RebalPull,
+        DirectoryEpoch, MigrationShip, MigrationDone,
+        SiteJoin, SiteDecommission,
         NetSend, NetDropPartition, NetDropLoss, NetDeliver, NetBundle,
         SiteCrash, SiteRecover, LogForce,
         KernelStep,

@@ -181,6 +181,12 @@ class Simulator:
         """The shard owning *site* (single-queue kernel: always 0)."""
         return 0
 
+    def adopt_site(self, site: str) -> int:
+        """Admit a site created after construction into the placement
+        plan (elastic topology); returns its shard. A no-op here — the
+        single-queue kernel places everything on shard 0."""
+        return 0
+
     def step(self) -> bool:
         """Execute the next event; return False when the queue is drained."""
         event = self._queue.pop()

@@ -100,6 +100,20 @@ class ShardPlan:
         except KeyError:
             raise KeyError(f"site {site!r} not in shard plan") from None
 
+    def add_site(self, site: str) -> int:
+        """Assign a late-joining site to a shard (elastic topology).
+
+        Joins continue the round-robin deal, so the assignment depends
+        only on the join order — never on which worker lane asked. The
+        shard set itself is fixed at construction; a join only extends
+        the site → shard mapping.
+        """
+        if site in self.site_shard:
+            raise ValueError(f"site {site!r} already in shard plan")
+        shard = len(self.site_shard) % self.shards
+        self.site_shard[site] = shard
+        return shard
+
 
 class _Shard:
     """One shard's private kernel state."""
@@ -222,6 +236,14 @@ class ShardedSimulator(Simulator):
 
     def shard_of(self, site: str) -> int:
         return self._plan.shard_of(site)
+
+    def adopt_site(self, site: str) -> int:
+        """Admit a late-joining site: extend the plan's site → shard
+        mapping (round-robin continuation). The shard objects are fixed
+        at construction, so no queue or trace stream is created — the
+        joiner shares an existing shard's clock and fingerprint lane,
+        keeping worker-count invariance intact."""
+        return self._plan.add_site(site)
 
     def shard_clock(self, shard: int) -> float:
         return self._shards[shard].now
@@ -470,6 +492,13 @@ class ShardedSimulator(Simulator):
         self._deliver_mail()
         self._clock = horizon
         self._run_globals_due(horizon)
+        # Global events may themselves send cross-site messages (a
+        # migration ship, a probe-triggered retransmit). Those sends
+        # land at or beyond the committed clock, which no shard has run
+        # past, so they can be delivered immediately — leaving them in
+        # the outbox would let the next round's window advance over
+        # their timestamps before the following barrier drained them.
+        self._deliver_mail()
 
     def _next_horizon(self, next_time: float) -> float:
         """One lookahead window past the idle gap, clipped at a cut."""

@@ -15,6 +15,7 @@ import random
 import pytest
 
 from repro.chaos import (
+    AddSite,
     ChaosConfig,
     CrashSite,
     FaultGrammar,
@@ -24,6 +25,8 @@ from repro.chaos import (
     PartitionNet,
     PlanError,
     RecoverSite,
+    RemoveSite,
+    Reshard,
     SkewTick,
     run_chaos,
     run_seed_for,
@@ -42,6 +45,9 @@ SAMPLE_ACTIONS = (
                     loss=0.7, duplicate=0.3, jitter=4.0),
     LinkFaultWindow(at=2.0, src="S3", dst="S1", duration=3.0, down=True),
     SkewTick(at=7.5, site="S2"),
+    AddSite(at=20.0, site="E0"),
+    RemoveSite(at=30.0, site="S3"),
+    Reshard(at=25.0, replicas=2),
 )
 
 
@@ -56,7 +62,8 @@ class TestSerialization:
 
     def test_kind_registry_is_complete(self):
         assert set(ACTION_TYPES) == {
-            "crash", "recover", "partition", "heal", "link", "skew"}
+            "crash", "recover", "partition", "heal", "link", "skew",
+            "add-site", "remove-site", "reshard"}
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(PlanError, match="unknown fault action"):
