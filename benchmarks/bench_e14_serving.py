@@ -1,0 +1,220 @@
+"""Serving-knee bench: offered-load sweep across routing/admission
+policies (PR 8; committed as ``BENCH_pr8.json``).
+
+Runs the E14 grid (16 and 64 sites on the sharded kernel, open-loop
+arrivals, conc2 locking) and gates on the three phenomena the serving
+front-end exists to produce:
+
+1. **Saturation knee** — ``random`` and ``lq-unbounded`` must both
+   reach a knee inside the swept range (p99 above 2.5x their own
+   unloaded tail, or >5% shed): the sweep really crosses saturation.
+2. **Routing wins** — at the headline 16-site grid, an informed
+   policy (``least-queue`` or ``locality``) holds a strictly lower
+   p99 commit latency than ``random`` at every swept rate from 80% of
+   random's knee load upward; at every site count the same holds
+   strictly past the knee.
+3. **Admission bounds the tail** — past the unbounded policy's knee,
+   bounded least-queue holds a strictly lower p99 than the identical
+   router with admission off, and does it by shedding (shed > 0)
+   while the unbounded queue never sheds — bounded latency bought
+   with refusals, not magic.
+
+``--smoke`` runs the quick preset (16 sites, 3 rates) and gates only
+on the top-rate orderings — the CI serving job.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_e14_serving.py [--out FILE]
+    PYTHONPATH=src python benchmarks/bench_e14_serving.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from dataclasses import asdict
+
+from repro.harness.experiments.e14_serving import (
+    POLICIES,
+    Params,
+    _run_one,
+    knee_rate,
+)
+
+#: The headline grid for the routing-domination gate: small enough
+#: that locality's hot-owner concentration never self-saturates, so
+#: the comparison isolates routing policy, not item skew.
+HEADLINE_SITES = 16
+
+#: Fraction of random's knee load from which an informed policy must
+#: already dominate (the "at >=80% of knee load" acceptance bound).
+KNEE_FRACTION = 0.8
+
+
+def sweep(params: Params) -> list[dict]:
+    """Run the grid; one dict per (sites, policy) with its rate rows."""
+    sweeps = []
+    for sites_n in params.site_counts:
+        for label, _router, _admit in POLICIES:
+            rows = []
+            for rate in params.rates:
+                begin = time.perf_counter()
+                offered, commit, abort, shed, p50, p99 = _run_one(
+                    params, sites_n, label, rate)
+                rows.append({
+                    "rate": rate, "offered": offered,
+                    "commit_pct": round(commit, 2),
+                    "abort_pct": round(abort, 2),
+                    "shed_pct": round(shed, 2),
+                    "p50": round(p50, 3), "p99": round(p99, 3),
+                    "wall_s": round(time.perf_counter() - begin, 2),
+                })
+                print(f"  n={sites_n:3d} {label:<12s} rate={rate:<4g} "
+                      f"shed={shed:5.1f}% p99={p99:7.2f}",
+                      file=sys.stderr)
+            knee = knee_rate([row["rate"] for row in rows],
+                             [row["p99"] for row in rows],
+                             [row["shed_pct"] / 100.0 for row in rows])
+            sweeps.append({"sites": sites_n, "policy": label,
+                           "knee": knee, "rows": rows})
+    return sweeps
+
+
+def _series(sweeps: list[dict], sites: int, policy: str) -> dict:
+    for entry in sweeps:
+        if entry["sites"] == sites and entry["policy"] == policy:
+            return entry
+    raise KeyError((sites, policy))
+
+
+def check_gates(sweeps: list[dict], params: Params) -> list[str]:
+    failures = []
+    site_counts = sorted({entry["sites"] for entry in sweeps})
+
+    for sites_n in site_counts:
+        for policy in ("random", "lq-unbounded"):
+            if _series(sweeps, sites_n, policy)["knee"] is None:
+                failures.append(
+                    f"n={sites_n} {policy}: no saturation knee inside "
+                    f"rates {params.rates} — sweep never saturated")
+
+    for sites_n in site_counts:
+        random_series = _series(sweeps, sites_n, "random")
+        knee = random_series["knee"]
+        if knee is None:
+            continue
+        # From 80% of the knee at the headline grid; strictly past the
+        # knee everywhere (64 sites: zipf hot-owners saturate locality
+        # on absolute load before random's knee, so the routing win is
+        # a past-the-knee claim there — the rows record both regimes).
+        threshold = (KNEE_FRACTION * knee
+                     if sites_n == HEADLINE_SITES else knee + 1e-9)
+        for index, row in enumerate(random_series["rows"]):
+            if row["rate"] < threshold:
+                continue
+            informed = min(
+                _series(sweeps, sites_n, "least-queue")["rows"][index]["p99"],
+                _series(sweeps, sites_n, "locality")["rows"][index]["p99"])
+            if not informed < row["p99"]:
+                failures.append(
+                    f"n={sites_n} rate={row['rate']}: best informed "
+                    f"p99 {informed} not below random {row['p99']}")
+
+    for sites_n in site_counts:
+        unbounded = _series(sweeps, sites_n, "lq-unbounded")
+        knee = unbounded["knee"]
+        if knee is None:
+            continue
+        for index, row in enumerate(unbounded["rows"]):
+            if row["rate"] <= knee:
+                continue
+            bounded = _series(sweeps, sites_n, "least-queue")["rows"][index]
+            if not bounded["p99"] < row["p99"]:
+                failures.append(
+                    f"n={sites_n} rate={row['rate']}: bounded p99 "
+                    f"{bounded['p99']} not below unbounded {row['p99']}")
+            if not bounded["shed_pct"] > 0:
+                failures.append(
+                    f"n={sites_n} rate={row['rate']}: bounded queue "
+                    "past the knee shed nothing — depth bound inert")
+            if row["shed_pct"] != 0:
+                failures.append(
+                    f"n={sites_n} rate={row['rate']}: unbounded queue "
+                    f"shed {row['shed_pct']}% — admission not disabled")
+    return failures
+
+
+def check_smoke_gates(sweeps: list[dict], params: Params) -> list[str]:
+    """Top-rate orderings only: fast, still catches a dead front-end."""
+    failures = []
+    top = len(params.rates) - 1
+    sites_n = params.site_counts[0]
+    random_p99 = _series(sweeps, sites_n, "random")["rows"][top]["p99"]
+    locality = _series(sweeps, sites_n, "locality")["rows"][top]["p99"]
+    bounded = _series(sweeps, sites_n, "least-queue")["rows"][top]
+    unbounded = _series(sweeps, sites_n, "lq-unbounded")["rows"][top]
+    if not locality < random_p99:
+        failures.append(f"smoke: locality p99 {locality} not below "
+                        f"random {random_p99} at the top rate")
+    if not bounded["p99"] < unbounded["p99"]:
+        failures.append(f"smoke: bounded p99 {bounded['p99']} not below "
+                        f"unbounded {unbounded['p99']} at the top rate")
+    if not bounded["shed_pct"] > 0:
+        failures.append("smoke: bounded queue shed nothing at the "
+                        "top rate")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_e14_serving.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick preset + top-rate gates only "
+                             "(the CI serving job)")
+    args = parser.parse_args(argv)
+
+    params = Params.quick() if args.smoke else Params()
+    cell_count = (len(params.site_counts) * len(POLICIES)
+                  * len(params.rates))
+    print(f"serving sweep: {cell_count} cells "
+          f"(sites={params.site_counts}, rates={params.rates}):",
+          file=sys.stderr)
+    begin = time.perf_counter()
+    sweeps = sweep(params)
+    wall = time.perf_counter() - begin
+
+    failures = (check_smoke_gates(sweeps, params) if args.smoke
+                else check_gates(sweeps, params))
+
+    payload = {
+        "bench": "e14_serving",
+        "smoke": args.smoke,
+        "params": asdict(params),
+        "wall_s": round(wall, 1),
+        "sweeps": sweeps,
+        "knees": {f"n={entry['sites']}:{entry['policy']}": entry["knee"]
+                  for entry in sweeps},
+        "gates": ("top-rate orderings (smoke)" if args.smoke else
+                  ["knee exists for random and lq-unbounded",
+                   f"informed p99 < random p99 from "
+                   f"{KNEE_FRACTION:.0%} of knee (n={HEADLINE_SITES}) "
+                   "and past the knee everywhere",
+                   "bounded p99 < unbounded p99 past the knee, "
+                   "with sheds"]),
+        "gate_failures": failures,
+    }
+    path = pathlib.Path(args.out)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path} ({wall:.0f}s)", file=sys.stderr)
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from repro.core.transactions import (
     Outcome,
     TransactionSpec,
     TxnResult,
+    UnsupportedSpec,
 )
 from repro.net.link import LinkConfig
 from repro.net.message import Envelope
@@ -160,7 +161,7 @@ class CentralCounterSystem:
                on_done: Callable[[TxnResult], None] | None = None) -> str:
         if len(spec.ops) != 1 or not isinstance(
                 spec.ops[0], (DecrementOp, IncrementOp)):
-            raise ValueError("central-counter baseline supports single "
+            raise UnsupportedSpec("central-counter baseline supports single "
                              "increment/decrement transactions")
         op = spec.ops[0]
         kind = "dec" if isinstance(op, DecrementOp) else "inc"

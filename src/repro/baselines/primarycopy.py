@@ -31,6 +31,7 @@ from repro.core.transactions import (
     ReadFullOp,
     TransactionSpec,
     TxnResult,
+    UnsupportedSpec,
 )
 from repro.net.link import LinkConfig
 from repro.net.message import Envelope
@@ -86,7 +87,7 @@ class PrimaryCopySite:
     def submit(self, spec: TransactionSpec,
                on_done: Callable[[TxnResult], None] | None) -> str:
         if len(spec.items()) != 1:
-            raise ValueError("primary-copy baseline supports "
+            raise UnsupportedSpec("primary-copy baseline supports "
                              "single-item txns")
         txn_id = self._ids.next()
         item = next(iter(spec.items()))

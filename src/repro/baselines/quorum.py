@@ -33,6 +33,7 @@ from repro.core.transactions import (
     ReadFullOp,
     TransactionSpec,
     TxnResult,
+    UnsupportedSpec,
 )
 from repro.net.link import LinkConfig
 from repro.net.message import Envelope
@@ -110,7 +111,7 @@ class QuorumSite:
     def submit(self, spec: TransactionSpec,
                on_done: Callable[[TxnResult], None] | None) -> str:
         if len(spec.items()) != 1:
-            raise ValueError("quorum baseline supports single-item txns")
+            raise UnsupportedSpec("quorum baseline supports single-item txns")
         txn_id = self._ids.next()
         attempt = _Attempt(txn_id, spec, PendingDone(on_done), self.sim.now)
         self._attempts[txn_id] = attempt

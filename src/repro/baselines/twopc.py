@@ -34,6 +34,7 @@ from repro.core.transactions import (
     TransactionSpec,
     TransferOp,
     TxnResult,
+    UnsupportedSpec,
 )
 from repro.net.link import LinkConfig
 from repro.net.message import Envelope
@@ -184,7 +185,7 @@ class TwoPCSite:
             elif isinstance(op, ReadFullOp):
                 add(SimpleOp("read", op.item))
             else:
-                raise TypeError(f"unsupported op for 2PC: {op!r}")
+                raise UnsupportedSpec(f"unsupported op for 2PC: {op!r}")
         return {site: tuple(ops) for site, ops in grouped.items()}
 
     # -- message dispatch -----------------------------------------------------

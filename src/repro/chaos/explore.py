@@ -189,11 +189,15 @@ class ExploreReport:
                      f" partitioner={self.config.partitioner}" +
                      ("" if self.config.replicas is None else
                       f"/{self.config.replicas}"))
+        serving = ("" if self.config.serving is None else
+                   f" serving={self.config.serving}"
+                   f":{self.config.serving_max_inflight}"
+                   f"/{self.config.serving_max_depth}")
         lines = [f"chaos explore: budget={self.budget} "
                  f"seed={self.master_seed} sites={self.config.sites} "
                  f"items={self.config.items} txns={self.config.txns} "
                  f"duration={self.config.duration:g}"
-                 f"{rebalance}{bundling}{partition}",
+                 f"{rebalance}{bundling}{partition}{serving}",
                  f"plans run: {self.runs}  failing: {len(self.failures)}"]
         for case in self.failures:
             lines.append(f"  plan #{case.index} (run seed {case.seed}) "

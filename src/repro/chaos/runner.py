@@ -87,6 +87,16 @@ class ChaosConfig:
     partitioner: str = "all"
     #: Owners per item under non-"all" partitioners (None: every site).
     replicas: int | None = None
+    #: Serving front-end router (None: the seed direct-submit path).
+    #: When set, every chaos arrival flows through the
+    #: repro.serving front-end — routed, queued, admission-controlled —
+    #: and ``submitted`` counts dispatches *into* the system (sheds
+    #: never entered it). Old recorded artifacts carry no key and load
+    #: as None, replaying byte-for-byte.
+    serving: str | None = None
+    serving_max_depth: int = 8
+    serving_max_inflight: int = 2
+    serving_board_period: float = 4.0
 
     def site_names(self) -> list[str]:
         return [f"S{index}" for index in range(self.sites)]
@@ -143,12 +153,17 @@ class ChaosResult:
 
 
 def _build_workload(system: DvPSystem, config: ChaosConfig,
-                    result: ChaosResult) -> None:
+                    result: ChaosResult, frontend=None) -> None:
     """Pre-schedule every arrival from a seed-derived stream.
 
     Arrivals at a dead site vanish without being counted as submitted
     (the customer's request never reached a running server), so the
     progress oracle can attribute every lost submission to a crash.
+    With a serving *frontend* the arrival instead enters the front-end
+    (the load balancer outlives any one site); requests the front-end
+    sheds never reach the system and are not counted as submitted —
+    ``run_chaos`` reads the dispatch count off the front-end after the
+    run.
     """
     rng = system.sim.rng.stream("chaos:workload")
     sites = config.site_names()
@@ -177,11 +192,15 @@ def _build_workload(system: DvPSystem, config: ChaosConfig,
                  else "chaos")
 
         def arrive(site=site, op=op, label=label) -> None:
+            spec = TransactionSpec(ops=(op,), label=label)
+            if frontend is not None:
+                frontend.submit(site, spec)
+                return
             target = system.sites[site]
             if not target.alive:
                 return
             result.submitted += 1
-            target.submit(TransactionSpec(ops=(op,), label=label))
+            target.submit(spec)
 
         # Site-targeted arrival: lands on the shard owning the site.
         system.sim.at_site(site, when, arrive,
@@ -245,6 +264,15 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
     for item in config.item_names():
         system.add_item(item, CounterDomain(), split=per_site[item])
         result.initial_totals[item] = sum(per_site[item].values())
+    frontend = None
+    if config.serving is not None:
+        from repro.serving import ServingConfig, ServingFrontend
+        frontend = ServingFrontend(system, ServingConfig(
+            router=config.serving,
+            max_inflight=config.serving_max_inflight,
+            max_depth=config.serving_max_depth,
+            board_period=config.serving_board_period))
+        frontend.start()
     daemons = {}
     if config.rebalance is not None:
         from repro.core.rebalance import RebalanceConfig, install_rebalancing
@@ -256,11 +284,18 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
     if trace_limit > 0:
         system.sim.obs.enable(ring_limit=trace_limit,
                               kernel_steps=trace_kernel)
-    _build_workload(system, config, result)
+    _build_workload(system, config, result, frontend)
     _install_probes(system, config, result)
     plan.compile(system)
 
     system.run_until(config.duration)
+
+    # Serving settle: refuse new work and shed the queued backlog so
+    # everything *dispatched* decides inside the settle window (queued
+    # requests never entered the system; shedding them is bookkeeping,
+    # not data loss). In-flight transactions decide on their own.
+    if frontend is not None:
+        frontend.quiesce()
 
     # Settle: lift every scripted fault, revive every site, let
     # retransmissions land. The oracles require quiescence — so the
@@ -276,6 +311,9 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
             system.recover(name)  # call_in_site: timers land on the shard
     system.run_for(config.txn_timeout + config.settle)
 
+    if frontend is not None:
+        # Submissions = dispatches into the system; sheds stayed out.
+        result.submitted = frontend.dispatched
     result.wiped_by_crash = sum(site.txns_wiped
                                 for site in system.sites.values())
     result.fingerprint = system.sim.trace_fingerprint()

@@ -172,6 +172,18 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="K",
                               help="owners per item under a non-'all' "
                                    "partitioner (default: every site)")
+    chaos_parser.add_argument(
+        "--serving", default=None,
+        choices=["random", "least-queue", "locality"],
+        help="route chaos arrivals through the serving front-end "
+             "(router + bounded queues + admission control) instead "
+             "of direct site submission (default: off)")
+    chaos_parser.add_argument(
+        "--serving-depth", type=int, default=8,
+        help="serving queue depth bound per site (default: 8)")
+    chaos_parser.add_argument(
+        "--serving-inflight", type=int, default=2,
+        help="serving service slots per site (default: 2)")
     chaos_parser.add_argument("--reshard", action="store_true",
                               help="sample elastic-topology motifs too "
                                    "(site joins, decommissions, replica "

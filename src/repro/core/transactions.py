@@ -37,6 +37,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.site import DvPSite
 
 
+class UnsupportedSpec(ValueError):
+    """A submit target refused a spec whose *shape* it cannot serve.
+
+    Baselines with narrower scope than DvP (single-item quorum,
+    increment/decrement-only 2PC, ...) raise this instead of a bare
+    ValueError/TypeError so workload drivers can tell "this target
+    doesn't serve that shape" (the customer walks away) apart from a
+    genuine programming error, which must propagate.
+    """
+
+
 class Outcome(enum.Enum):
     COMMITTED = "committed"
     ABORTED = "aborted"

@@ -50,7 +50,11 @@ def config_from_args(args) -> ChaosConfig:
                        bundle_flush_delay=getattr(args, "bundle_delay",
                                                   None),
                        partitioner=getattr(args, "partitioner", "all"),
-                       replicas=getattr(args, "replicas", None))
+                       replicas=getattr(args, "replicas", None),
+                       serving=getattr(args, "serving", None),
+                       serving_max_depth=getattr(args, "serving_depth", 8),
+                       serving_max_inflight=getattr(
+                           args, "serving_inflight", 2))
 
 
 def explore_main(args, out: "TextIO | None" = None) -> int:

@@ -22,6 +22,7 @@ _MODULES = {
     "E11": "e11_hybrid",
     "E12": "e12_rebalance",
     "E13": "e13_reshard",
+    "E14": "e14_serving",
 }
 
 

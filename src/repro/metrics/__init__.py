@@ -1,7 +1,19 @@
 """Measurement: per-transaction records, summary statistics, tables."""
 
-from repro.metrics.collector import Collector
-from repro.metrics.stats import Summary, percentile, summarize
+from repro.metrics.collector import Collector, CollectorInconsistency
+from repro.metrics.stats import Summary, percentile, percentile_sorted, summarize
 from repro.metrics.tables import Table
+from repro.metrics.windows import ServeSample, WindowStat, window_stats
 
-__all__ = ["Collector", "Summary", "Table", "percentile", "summarize"]
+__all__ = [
+    "Collector",
+    "CollectorInconsistency",
+    "ServeSample",
+    "Summary",
+    "Table",
+    "WindowStat",
+    "percentile",
+    "percentile_sorted",
+    "summarize",
+    "window_stats",
+]

@@ -14,6 +14,17 @@ from repro.core.transactions import TxnResult
 from repro.metrics.stats import Summary, summarize
 
 
+class CollectorInconsistency(RuntimeError):
+    """More outcomes reported than requests submitted.
+
+    A result/shed count exceeding the submit count means somebody
+    double-reported (a completion callback fired twice, or a shed was
+    also given a TxnResult). Pre-fix ``Collector.lost`` clamped the
+    difference with ``max(0, ...)`` and the double-report passed
+    silently as "nothing lost".
+    """
+
+
 @dataclass
 class Collector:
     """Accumulates results; knows nothing about how they were produced."""
@@ -25,6 +36,10 @@ class Collector:
     #: TxnResult, so the only way to count it inside a window is by
     #: when it was submitted.
     submit_times: list[float] = field(default_factory=list)
+    #: Requests refused by admission control (serving front-end) —
+    #: decided, but never entered the system, so no TxnResult.
+    shed: int = 0
+    shed_times: list[float] = field(default_factory=list)
 
     def on_submit(self, at: float | None = None) -> None:
         self.submitted += 1
@@ -33,6 +48,11 @@ class Collector:
 
     def on_result(self, result: TxnResult) -> None:
         self.results.append(result)
+
+    def on_shed(self, at: float | None = None) -> None:
+        self.shed += 1
+        if at is not None:
+            self.shed_times.append(at)
 
     # -- views ---------------------------------------------------------------
 
@@ -46,8 +66,23 @@ class Collector:
 
     @property
     def lost(self) -> int:
-        """Submitted but never reported back (vanished in a crash)."""
-        return max(0, self.submitted - len(self.results))
+        """Submitted but never reported back (vanished in a crash).
+
+        Raises :class:`CollectorInconsistency` when outcomes outnumber
+        submissions — a double-reported result would otherwise silently
+        clamp to "0 lost". Sink-only collectors (results fed without
+        ``on_submit``, as some harnesses do) never tracked submissions
+        and keep reporting 0.
+        """
+        if self.submitted == 0:
+            return 0
+        outcomes = len(self.results) + self.shed
+        if outcomes > self.submitted:
+            raise CollectorInconsistency(
+                f"{len(self.results)} results + {self.shed} sheds "
+                f"reported for only {self.submitted} submissions — "
+                "a completion callback fired more than once")
+        return self.submitted - outcomes
 
     def commit_rate(self) -> float:
         if not self.results:
@@ -89,6 +124,9 @@ class Collector:
                           if start <= result.submitted_at < end]
         window.submit_times = [at for at in self.submit_times
                                if start <= at < end]
+        window.shed_times = [at for at in self.shed_times
+                             if start <= at < end]
+        window.shed = len(window.shed_times)
         window.submitted = (len(window.submit_times) if self.submit_times
-                            else len(window.results))
+                            else len(window.results) + window.shed)
         return window

@@ -1,8 +1,8 @@
 """Summary statistics over transaction latencies and counts.
 
-Kept dependency-free (no numpy) so the core library stays lightweight;
-the experiment harness is the only consumer that cares about speed and
-these sample sizes are small.
+Kept dependency-free (no numpy) so the core library stays lightweight.
+The serving front-end feeds 10^5-10^6 latency samples through
+``summarize``, so the sample is sorted exactly once per summary.
 """
 
 from __future__ import annotations
@@ -15,9 +15,20 @@ def percentile(values: list[float], q: float) -> float:
     """Linear-interpolation percentile, q in [0, 100]."""
     if not values:
         return math.nan
+    return percentile_sorted(sorted(values), q)
+
+
+def percentile_sorted(ordered: list[float], q: float) -> float:
+    """Percentile of an *already sorted* sample — no copy, no sort.
+
+    Callers that need several percentiles of the same sample sort once
+    and index (``summarize`` does); sorting inside ``percentile`` per
+    quantile tripled the dominant cost at 10^6 samples.
+    """
+    if not ordered:
+        return math.nan
     if not 0 <= q <= 100:
         raise ValueError(f"percentile {q} out of range")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100) * (len(ordered) - 1)
@@ -48,10 +59,11 @@ class Summary:
 def summarize(values: list[float]) -> Summary:
     if not values:
         return Summary.empty()
+    ordered = sorted(values)
     return Summary(
-        count=len(values),
-        mean=sum(values) / len(values),
-        p50=percentile(values, 50),
-        p95=percentile(values, 95),
-        p99=percentile(values, 99),
-        maximum=max(values))
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=percentile_sorted(ordered, 50),
+        p95=percentile_sorted(ordered, 95),
+        p99=percentile_sorted(ordered, 99),
+        maximum=ordered[-1])

@@ -1,0 +1,102 @@
+"""Windowed serving statistics: latency/shed/abort rates over time.
+
+The serving front-end measures *client-perceived* latency — enqueue to
+decision — which is strictly longer than ``TxnResult.latency`` (dispatch
+to decision) whenever requests queue. :class:`ServeSample` records the
+three timestamps per request; :func:`window_stats` buckets samples into
+fixed windows and summarizes each, which is how the saturation knee is
+located (p99 vs offered load, docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.stats import percentile_sorted
+
+
+@dataclass(frozen=True)
+class ServeSample:
+    """One request's life through the serving front-end."""
+
+    site: str                    # site the request was queued at
+    arrived_at: float            # enqueue time (admission passed)
+    dispatched_at: float         # left the queue, entered the system
+    finished_at: float           # decision time (commit or abort)
+    committed: bool
+
+    @property
+    def queue_wait(self) -> float:
+        return self.dispatched_at - self.arrived_at
+
+    @property
+    def latency(self) -> float:
+        """Client-perceived: enqueue to decision."""
+        return self.finished_at - self.arrived_at
+
+
+@dataclass(frozen=True)
+class WindowStat:
+    """Aggregates over one [start, start+width) window."""
+
+    start: float
+    offered: int                 # arrivals (admitted + shed) in window
+    shed: int
+    committed: int
+    aborted: int
+    p50: float
+    p99: float
+    mean_wait: float
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        decided = self.committed + self.aborted
+        return self.aborted / decided if decided else 0.0
+
+
+def window_stats(samples: list[ServeSample], shed_times: list[float],
+                 start: float, end: float, width: float) -> list[WindowStat]:
+    """Bucket samples by *arrival* time into fixed windows.
+
+    Keying on arrival (not decision) time means a window's latency
+    tail reflects the load offered during that window — the quantity
+    the knee is defined over.
+    """
+    if width <= 0:
+        raise ValueError("window width must be positive")
+    count = max(1, int((end - start) / width + 0.5))
+    buckets: list[list[ServeSample]] = [[] for _ in range(count)]
+    sheds = [0] * count
+
+    def index(at: float) -> int | None:
+        if not start <= at < end:
+            return None
+        return min(count - 1, int((at - start) / width))
+
+    for sample in samples:
+        slot = index(sample.arrived_at)
+        if slot is not None:
+            buckets[slot].append(sample)
+    for at in shed_times:
+        slot = index(at)
+        if slot is not None:
+            sheds[slot] += 1
+
+    stats = []
+    for slot, bucket in enumerate(buckets):
+        latencies = sorted(sample.latency for sample in bucket)
+        waits = [sample.queue_wait for sample in bucket]
+        stats.append(WindowStat(
+            start=start + slot * width,
+            offered=len(bucket) + sheds[slot],
+            shed=sheds[slot],
+            committed=sum(1 for sample in bucket if sample.committed),
+            aborted=sum(1 for sample in bucket if not sample.committed),
+            p50=percentile_sorted(latencies, 50),
+            p99=percentile_sorted(latencies, 99),
+            mean_wait=sum(waits) / len(waits) if waits else 0.0))
+    return stats

@@ -19,6 +19,8 @@ The event families mirror the protocol's moving parts:
 * **net** — physical transmissions: send, partition drop, loss drop,
   deliver;
 * **site** — crash, recover, log force;
+* **serve** — the serving front-end's admission path: enqueue,
+  dequeue (dispatch into the system), shed (typed Overload refusal);
 * **kernel** — one event per executed simulator event (optional,
   heavyweight; lines up with :meth:`Simulator.trace_fingerprint`).
 
@@ -319,6 +321,39 @@ class LogForce(TraceEvent):
     lsn: int = 0
 
 
+# -- serving front-end (docs/SERVING.md) -------------------------------------
+
+@dataclass(frozen=True)
+class ServeEnqueue(TraceEvent):
+    """A routed request passed admission and entered *site*'s queue."""
+
+    kind: ClassVar[str] = "serve.enqueue"
+    site: str = ""
+    origin: str = ""
+    depth: int = 0
+
+
+@dataclass(frozen=True)
+class ServeDequeue(TraceEvent):
+    """A queued request was dispatched into the system at *site*."""
+
+    kind: ClassVar[str] = "serve.dequeue"
+    site: str = ""
+    waited: float = 0.0
+    inflight: int = 0
+
+
+@dataclass(frozen=True)
+class ServeShed(TraceEvent):
+    """Admission control refused a request (typed Overload to client)."""
+
+    kind: ClassVar[str] = "serve.shed"
+    site: str = ""
+    origin: str = ""
+    reason: str = ""
+    depth: int = 0
+
+
 # -- kernel ------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -340,6 +375,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         SiteJoin, SiteDecommission,
         NetSend, NetDropPartition, NetDropLoss, NetDeliver, NetBundle,
         SiteCrash, SiteRecover, LogForce,
+        ServeEnqueue, ServeDequeue, ServeShed,
         KernelStep,
     )
 }

@@ -30,6 +30,13 @@ name                    labels                   meaning
 ``txn.decision``        ``site, outcome`` (hist) submit→decision latency
 ``rebal.shipments``     ``site``                 daemon surplus pushes
 ``rebal.pulls``         ``site``                 daemon deficit pulls
+``serve.enqueued``      ``site``                 requests admitted
+``serve.dequeued``      ``site``                 requests dispatched
+``serve.shed``          ``site, reason``         admission refusals
+``serve.lease_expired`` ``site``                 slots reclaimed (wipes)
+``serve.wait``          ``site`` (histogram)     enqueue→dispatch wait
+``serve.depth``         ``site`` (gauge)         live queue depth
+``serve.inflight``      ``site`` (gauge)         live slots in use
 ======================  =======================  =========================
 
 Histograms keep raw samples and summarize lazily through

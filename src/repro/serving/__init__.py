@@ -1,0 +1,32 @@
+"""Serving front-end: open-loop traffic, routing, admission control.
+
+See docs/SERVING.md. The front-end implements the same
+``submit(site, spec, on_done)`` protocol as the system it fronts, so
+workload drivers and the chaos engine use it unchanged.
+"""
+
+from repro.serving.admission import AdmissionPolicy, Overload
+from repro.serving.frontend import ServingConfig, ServingFrontend
+from repro.serving.queue import SiteQueue
+from repro.serving.router import (
+    ROUTERS,
+    DepthBoard,
+    LeastQueueRouter,
+    LocalityRouter,
+    RandomRouter,
+    make_router,
+)
+
+__all__ = [
+    "ROUTERS",
+    "AdmissionPolicy",
+    "DepthBoard",
+    "LeastQueueRouter",
+    "LocalityRouter",
+    "Overload",
+    "RandomRouter",
+    "ServingConfig",
+    "ServingFrontend",
+    "SiteQueue",
+    "make_router",
+]

@@ -1,0 +1,52 @@
+"""Admission control: typed refusals instead of unbounded queues.
+
+Queue-based load leveling only bounds *burst* absorption; past
+saturation an unbounded queue grows without limit and every client
+pays the whole backlog in latency. The admission policy puts a lid on
+the queue: requests beyond a depth or estimated-wait bound are *shed*
+with a typed :class:`Overload` the client can distinguish from an
+abort — the request never entered the system, nothing needs undoing,
+which is exactly the cheap-refusal regime DvP's local commits make
+common (docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Overload:
+    """A shed request: refused by admission control, never submitted.
+
+    ``reason`` is one of ``"depth"`` (queue at max_depth), ``"wait"``
+    (estimated wait exceeded max_wait), ``"site-down"`` (dispatch hit a
+    crashed site), or ``"shutdown"`` (front-end quiesced with the
+    request still queued).
+    """
+
+    site: str
+    at: float
+    reason: str
+    depth: int = 0
+    estimated_wait: float = 0.0
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-site queue bounds; ``None`` disables that bound."""
+
+    max_depth: int | None = None
+    max_wait: float | None = None
+
+    def refuse_reason(self, depth: int, estimated_wait: float) -> str | None:
+        """Why a request at this queue state must be shed, or None."""
+        if self.max_depth is not None and depth >= self.max_depth:
+            return "depth"
+        if self.max_wait is not None and estimated_wait > self.max_wait:
+            return "wait"
+        return None
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_depth is not None or self.max_wait is not None

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Any, Callable, Protocol
 
-from repro.core.transactions import TransactionSpec
+from repro.core.site import SiteDown
+from repro.core.transactions import TransactionSpec, UnsupportedSpec
 from repro.metrics.collector import Collector
 from repro.sim.kernel import Simulator
 
@@ -72,12 +75,33 @@ class SpecSource(Protocol):
         ...
 
 
+#: Cumulative Zipf weights keyed by (item count, skew). The weights
+#: depend only on list *length* and skew, never on item identity, so
+#: one cache entry serves every caller — without it each arrival paid
+#: an O(n) weight rebuild, ruinous at 10^5 items x 10^6 arrivals.
+_ZIPF_CUM_CACHE: dict[tuple[int, float], list[float]] = {}
+
+
+def _zipf_cum_weights(count: int, skew: float) -> list[float]:
+    key = (count, skew)
+    cum = _ZIPF_CUM_CACHE.get(key)
+    if cum is None:
+        cum = list(accumulate(
+            1.0 / (rank ** skew) for rank in range(1, count + 1)))
+        _ZIPF_CUM_CACHE[key] = cum
+    return cum
+
+
 def zipf_choice(rng: random.Random, items: list[str], skew: float) -> str:
     """Pick an item with Zipf(skew) weighting over the list order."""
     if skew <= 0 or len(items) == 1:
         return rng.choice(items)
-    weights = [1.0 / (rank ** skew) for rank in range(1, len(items) + 1)]
-    return rng.choices(items, weights=weights, k=1)[0]
+    # Same draw ``random.choices`` would make (one uniform, bisect on
+    # the cumulative weights) so cached and uncached paths produce
+    # bit-identical sequences from the same stream state.
+    cum = _zipf_cum_weights(len(items), skew)
+    total = cum[-1] + 0.0
+    return items[bisect(cum, rng.random() * total, 0, len(items) - 1)]
 
 
 class WorkloadDriver:
@@ -101,6 +125,7 @@ class WorkloadDriver:
         self._site_rng = {
             site: sim.rng.stream(f"{config.seed_stream}:{site}")
             for site in sites}
+        self._gap_rng: dict[str, random.Random] = {}
 
     def install(self, start: float = 0.0) -> int:
         """Pre-schedule every arrival in [start, start+duration].
@@ -121,20 +146,97 @@ class WorkloadDriver:
                 scheduled += 1
         return scheduled
 
+    # -- open-loop (lazy) arrival scheduling ---------------------------------
+    #
+    # ``install`` materializes the whole horizon up front — fine at
+    # harness scales, hopeless for 10^5-10^6 users. The open-loop mode
+    # keeps exactly one pending arrival per site: each arrival event
+    # draws the next gap and chains the next arrival. Gap draws use a
+    # *dedicated per-site stream* (``{seed_stream}:gaps:{site}``): the
+    # draw happens inside the site's own shard event, so a per-site
+    # stream keeps the arrival process independent of shard execution
+    # order (worker-invariant) — and identical to what
+    # ``install_prescheduled`` produces from the same seed.
+
+    def install_open_loop(self, start: float = 0.0) -> int:
+        """Schedule one chained arrival per site; O(sites) memory.
+
+        Returns the number of sites with at least one arrival.
+        """
+        self._make_gap_streams()
+        deadline = start + self.config.duration
+        live = 0
+        for site in self.sites:
+            first = start + self._next_site_gap(site)
+            if first >= deadline:
+                continue
+            self.sim.at_site(site, first,
+                             self._make_chained_arrival(site, deadline),
+                             label=f"arrival:{site}")
+            live += 1
+        return live
+
+    def install_prescheduled(self, start: float = 0.0) -> int:
+        """Pre-materialized twin of :meth:`install_open_loop`.
+
+        Draws gaps from the same per-site streams, so arrival instants
+        (and hence trace fingerprints) match the open-loop mode exactly
+        — the determinism oracle for the lazy path. Returns the number
+        of scheduled arrivals.
+        """
+        self._make_gap_streams()
+        deadline = start + self.config.duration
+        scheduled = 0
+        for site in self.sites:
+            time = start
+            while True:
+                time += self._next_site_gap(site)
+                if time >= deadline:
+                    break
+                self.sim.at_site(site, time, self._make_arrival(site),
+                                 label=f"arrival:{site}")
+                scheduled += 1
+        return scheduled
+
+    def _make_gap_streams(self) -> None:
+        # Streams must be forked from the root RNG (outside any shard
+        # event) — ``sim.rng`` inside an event is the shard's fork.
+        for site in self.sites:
+            if site not in self._gap_rng:
+                self._gap_rng[site] = self.sim.rng.stream(
+                    f"{self.config.seed_stream}:gaps:{site}")
+
     def _next_gap(self) -> float:
         return self._rng.expovariate(self.config.arrival_rate)
 
+    def _next_site_gap(self, site: str) -> float:
+        return self._gap_rng[site].expovariate(self.config.arrival_rate)
+
+    def _make_chained_arrival(self, site: str, deadline: float):
+        def arrive() -> None:
+            next_time = self.sim.now + self._next_site_gap(site)
+            if next_time < deadline:
+                self.sim.at_site(site, next_time, arrive,
+                                 label=f"arrival:{site}")
+            self._arrive(site)
+        return arrive
+
     def _make_arrival(self, site: str):
         def arrive() -> None:
-            spec = self.source.make_spec(self._site_rng[site], site)
-            self.collector.on_submit(at=self.sim.now)
-            try:
-                self.target.submit(site, spec, self.collector.on_result)
-            except Exception:
-                # Site down (or baseline refused the spec shape): the
-                # customer walked away; counted as lost.
-                pass
+            self._arrive(site)
         return arrive
+
+    def _arrive(self, site: str) -> None:
+        spec = self.source.make_spec(self._site_rng[site], site)
+        self.collector.on_submit(at=self.sim.now)
+        try:
+            self.target.submit(site, spec, self.collector.on_result)
+        except (SiteDown, UnsupportedSpec):
+            # The target refused service — site down, or the spec shape
+            # is out of scope for a narrower baseline. The customer
+            # walked away; counted as lost. Anything else is a
+            # programming error and must propagate.
+            pass
 
 
 def uniform_amount(rng: random.Random, config: WorkloadConfig) -> int:

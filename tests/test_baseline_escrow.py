@@ -9,6 +9,7 @@ from repro.core.transactions import (
     IncrementOp,
     ReadFullOp,
     TransactionSpec,
+    UnsupportedSpec,
 )
 from repro.net.link import LinkConfig
 
@@ -40,8 +41,10 @@ class TestConstruction:
             CentralCounterSystem(["A"], central="Z")
 
     def test_only_single_counter_ops(self):
+        # Refusal must be the typed UnsupportedSpec so workload
+        # drivers can tell "spec shape refused" from real errors.
         system = build()
-        with pytest.raises(ValueError):
+        with pytest.raises(UnsupportedSpec):
             system.submit("A", TransactionSpec(
                 ops=(ReadFullOp("hot"),)))
 

@@ -15,13 +15,16 @@ from repro.core.transactions import (
     TransactionSpec,
     TransferOp,
     TxnResult,
+    UnsupportedSpec,
 )
-from repro.metrics.collector import Collector
+from repro.core.site import SiteDown
+from repro.metrics.collector import Collector, CollectorInconsistency
 from repro.metrics.stats import Summary, percentile, summarize
 from repro.metrics.tables import Table
 from repro.workloads.airline import AirlineWorkload
 from repro.workloads.banking import BankingWorkload
 from repro.workloads.base import (
+    _ZIPF_CUM_CACHE,
     OpMix,
     WorkloadConfig,
     WorkloadDriver,
@@ -293,3 +296,149 @@ class TestTable:
         rendered = table.render()
         assert "inf" in rendered
         assert "-inf" in rendered
+
+
+class _ExplodingTarget:
+    """Submit target with a programming error inside submit()."""
+
+    def submit(self, site, spec, on_done=None):
+        raise RuntimeError("boom")
+
+
+class _RefusingTarget:
+    """Submit target that refuses every spec with a typed refusal."""
+
+    def __init__(self, exc):
+        self.exc = exc
+        self.calls = 0
+
+    def submit(self, site, spec, on_done=None):
+        self.calls += 1
+        raise self.exc
+
+
+class TestDriverErrorNarrowing:
+    """Regression: the arrival path used a bare ``except Exception``,
+    so a broken submit target silently dropped every transaction and
+    runs reported 100% "lost" instead of failing."""
+
+    def build(self, target):
+        system = DvPSystem(SystemConfig(sites=["A"]))
+        config = WorkloadConfig(arrival_rate=1.0, duration=20.0)
+        driver = WorkloadDriver(system.sim, target, ["A"],
+                                AirlineWorkload(["f"], config), config)
+        return system, driver
+
+    def test_programming_errors_propagate(self):
+        system, driver = self.build(_ExplodingTarget())
+        driver.install()
+        with pytest.raises(RuntimeError, match="boom"):
+            system.sim.run_until(30.0)
+
+    @pytest.mark.parametrize("exc", [SiteDown("A is down"),
+                                     UnsupportedSpec("shape refused")])
+    def test_typed_refusals_counted_as_lost(self, exc):
+        target = _RefusingTarget(exc)
+        system, driver = self.build(target)
+        driver.install()
+        system.sim.run_until(30.0)
+        assert target.calls > 0
+        assert driver.collector.submitted == target.calls
+        assert driver.collector.lost == driver.collector.submitted
+
+    def test_open_loop_path_narrowed_too(self):
+        system, driver = self.build(_ExplodingTarget())
+        driver.install_open_loop()
+        with pytest.raises(RuntimeError, match="boom"):
+            system.sim.run_until(30.0)
+
+
+class TestZipfCumulativeCache:
+    """Regression: ``zipf_choice`` rebuilt the weight vector on every
+    draw. The cached cumulative path must stay bit-identical to the
+    original ``rng.choices(items, weights=...)`` draws."""
+
+    def test_bit_identical_to_uncached_choices(self):
+        items = [f"item{rank}" for rank in range(50)]
+        for seed in range(8):
+            for skew in (0.4, 0.9, 1.3):
+                weights = [1.0 / ((rank + 1) ** skew)
+                           for rank in range(len(items))]
+                cached = random.Random(seed)
+                original = random.Random(seed)
+                got = [zipf_choice(cached, items, skew)
+                       for _ in range(300)]
+                want = [original.choices(items, weights=weights)[0]
+                        for _ in range(300)]
+                assert got == want
+
+    def test_cache_entry_reused_across_item_lists(self):
+        _ZIPF_CUM_CACHE.clear()
+        rng = random.Random(0)
+        zipf_choice(rng, ["a", "b", "c"], 0.5)
+        entry = _ZIPF_CUM_CACHE[(3, 0.5)]
+        zipf_choice(rng, ["x", "y", "z"], 0.5)
+        assert _ZIPF_CUM_CACHE[(3, 0.5)] is entry
+        assert len(_ZIPF_CUM_CACHE) == 1
+
+
+class TestSummarizeSortsOnce:
+    """Regression: ``summarize`` called ``percentile`` three times and
+    each call re-sorted the whole sample."""
+
+    def test_never_calls_resorting_percentile(self, monkeypatch):
+        import repro.metrics.stats as stats
+
+        def resort_detected(values, q):
+            raise AssertionError("summarize re-sorted via percentile()")
+
+        monkeypatch.setattr(stats, "percentile", resort_detected)
+        values = [random.Random(7).gauss(10, 3) for _ in range(5000)]
+        summary = stats.summarize(values)
+        assert summary.p50 == percentile(values, 50)
+        assert summary.p95 == percentile(values, 95)
+        assert summary.p99 == percentile(values, 99)
+        assert summary.maximum == max(values)
+
+    def test_micro_gate_at_one_million_samples(self):
+        from time import perf_counter
+
+        rng = random.Random(11)
+        values = [rng.random() for _ in range(1_000_000)]
+        begin = perf_counter()
+        summarize(values)
+        once = perf_counter() - begin
+        begin = perf_counter()
+        for q in (50, 95, 99):
+            percentile(values, q)
+        thrice = perf_counter() - begin
+        assert once < thrice, (
+            f"summarize ({once:.3f}s) should beat three sorting "
+            f"percentile calls ({thrice:.3f}s)")
+
+
+class TestCollectorDoubleReport:
+    """Regression: ``lost`` clamped with ``max(0, ...)``, so a result
+    reported twice silently cancelled out a genuinely lost one."""
+
+    def test_duplicate_result_raises(self):
+        collector = Collector()
+        collector.on_submit(at=0.0)
+        result = make_result(1.0)
+        collector.on_result(result)
+        collector.on_result(result)
+        with pytest.raises(CollectorInconsistency):
+            collector.lost
+
+    def test_sink_only_collector_reports_zero_lost(self):
+        collector = Collector()
+        collector.on_result(make_result(1.0))
+        assert collector.lost == 0
+
+    def test_shed_counts_toward_accounted_outcomes(self):
+        collector = Collector()
+        for _ in range(3):
+            collector.on_submit(at=0.0)
+        collector.on_result(make_result(1.0))
+        collector.on_shed(at=0.5)
+        assert collector.lost == 1
