@@ -11,17 +11,25 @@ makes the arguments measurable:
   primary's group keeps working, everyone else does not: E2);
 * :mod:`~repro.baselines.escrow` — O'Neil's escrow method, the paper's
   cited hot-spot comparator, plus a plain exclusive-lock central
-  counter (E6).
+  counter (E6);
+* :mod:`~repro.baselines.paxoscommit` — Gray & Lamport's Paxos Commit,
+  the strongest coordinated contender: non-blocking through any F
+  faults given 2F+1 acceptors, but still quorum-bound under partition
+  (E15's commit-protocol showdown).
 """
 
+from repro.baselines.common import UnknownItem
 from repro.baselines.escrow import CentralCounterSystem
+from repro.baselines.paxoscommit import PaxosCommitSystem
 from repro.baselines.primarycopy import PrimaryCopySystem
 from repro.baselines.quorum import QuorumSystem
 from repro.baselines.twopc import TwoPCSystem
 
 __all__ = [
     "CentralCounterSystem",
+    "PaxosCommitSystem",
     "PrimaryCopySystem",
     "QuorumSystem",
     "TwoPCSystem",
+    "UnknownItem",
 ]

@@ -12,8 +12,27 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.core.transactions import Outcome, TxnResult
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    Outcome,
+    ReadFullOp,
+    TransactionSpec,
+    TransferOp,
+    TxnResult,
+    UnsupportedSpec,
+)
 from repro.sim.kernel import Simulator
+
+
+class UnknownItem(UnsupportedSpec):
+    """Typed refusal for a spec naming an item the baseline never
+    created.
+
+    Subclasses :class:`UnsupportedSpec` so workload drivers treat it
+    like any other out-of-scope spec (the customer walks away) instead
+    of a raw ``KeyError`` crashing the simulation mid-event.
+    """
 
 
 @dataclass
@@ -51,10 +70,57 @@ class WholeStore:
         self._items[item] = WholeItem(value)
 
     def get(self, item: str) -> WholeItem:
-        return self._items[item]
+        try:
+            return self._items[item]
+        except KeyError:
+            raise UnknownItem(f"unknown item {item!r}") from None
 
     def items(self) -> dict[str, WholeItem]:
         return self._items
+
+
+@dataclass(frozen=True)
+class SimpleOp:
+    """A home-site-local effect: +amount / -amount / read."""
+
+    kind: str  # "inc" | "dec" | "read"
+    item: str
+    amount: Any = None
+
+
+def partition_ops(spec: TransactionSpec, home: dict[str, str]
+                  ) -> dict[str, tuple[SimpleOp, ...]]:
+    """Group a spec's ops by the home site of each touched item.
+
+    Shared by the coordinated baselines (2PC, Paxos Commit): both
+    partition a transaction into per-participant effect lists. Raises
+    :class:`UnknownItem` for items with no home — a typed refusal the
+    submitter sees synchronously, not a ``KeyError`` inside a later
+    delivery event.
+    """
+    grouped: dict[str, list[SimpleOp]] = {}
+
+    def add(op: SimpleOp) -> None:
+        try:
+            site = home[op.item]
+        except KeyError:
+            raise UnknownItem(f"unknown item {op.item!r}") from None
+        grouped.setdefault(site, []).append(op)
+
+    for op in spec.ops:
+        if isinstance(op, DecrementOp):
+            add(SimpleOp("dec", op.item, op.amount))
+        elif isinstance(op, IncrementOp):
+            add(SimpleOp("inc", op.item, op.amount))
+        elif isinstance(op, TransferOp):
+            add(SimpleOp("dec", op.src_item, op.amount))
+            add(SimpleOp("inc", op.dst_item, op.amount))
+        elif isinstance(op, ReadFullOp):
+            add(SimpleOp("read", op.item))
+        else:
+            raise UnsupportedSpec(f"unsupported op for commit "
+                                  f"protocol: {op!r}")
+    return {site: tuple(ops) for site, ops in grouped.items()}
 
 
 def make_result(txn_id: str, label: str, outcome: Outcome, reason: str,

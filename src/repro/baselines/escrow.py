@@ -32,6 +32,7 @@ from repro.baselines.common import (
     BaselineConfig,
     IdSource,
     PendingDone,
+    UnknownItem,
     make_result,
 )
 from repro.core.transactions import (
@@ -164,6 +165,10 @@ class CentralCounterSystem:
             raise UnsupportedSpec("central-counter baseline supports single "
                              "increment/decrement transactions")
         op = spec.ops[0]
+        if op.item not in self._items:
+            # Typed refusal: the central site indexes _items directly
+            # on AcquireReq delivery and must never see unknown names.
+            raise UnknownItem(f"unknown item {op.item!r}")
         kind = "dec" if isinstance(op, DecrementOp) else "inc"
         txn_id = f"{origin}:{self._ids.next()}"
         client = _ClientTxn(txn_id, spec, op.item, kind, op.amount,

@@ -1,0 +1,694 @@
+"""Paxos Commit (Gray & Lamport, *Consensus on Transaction Commit*).
+
+Two-phase commit blocks: a participant that voted YES and lost its
+coordinator holds locks until that one process returns. Paxos Commit
+removes the single point of failure by running one Paxos consensus
+instance per participant's prepared/aborted *vote*, with 2F+1 acceptors
+shared across instances. The transaction commits iff every instance
+chooses "prepared"; the decision is reachable whenever any leader can
+talk to a majority of acceptors — the coordinator is just the initial
+leader, not a dependency.
+
+Mapping onto the paper's protocol:
+
+* The origin site is the ballot-0 leader. It sends each participant
+  its ops; a participant votes by sending its phase-2a ballot-0 message
+  ("prepared" or "aborted") straight to the acceptors — the paper's
+  co-location optimization that makes the happy path the same message
+  depth as 2PC plus the acceptor round.
+* Acceptors log promises and accepted values; phase-2b messages go to
+  the ballot's leader, which decides an instance once a majority of
+  acceptors accepted the same (ballot, value).
+* Leader election on coordinator timeout is participant takeover: a
+  prepared participant that has heard no decision within the
+  transaction timeout runs phase 1 at a ballot only it can use
+  (``round * n_sites + rank``), adopts the highest accepted value a
+  majority reports (free choice = "aborted"), and drives phase 2.
+  Concurrent leaders are safe — that is Paxos — and each keeps
+  escalating its ballot every retry period until a decision lands, so
+  progress resumes as soon as a majority of acceptors is reachable.
+* Recovery is *independent* in the sense 2PC's is not: a recovered
+  in-doubt participant re-learns the outcome from the acceptors (who
+  logged their accepts), never from one distinguished coordinator.
+
+Built on the shared baseline substrate (WholeStore homes, the
+retry-period retransmission machinery, TxnResult shapes), so chaos
+schedules, the metrics collector, and the experiment harness drive it
+exactly like the 2PC and quorum baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.baselines.common import (
+    BaselineConfig,
+    IdSource,
+    PendingDone,
+    SimpleOp,
+    WholeStore,
+    make_result,
+    partition_ops,
+)
+from repro.core.transactions import (
+    Outcome,
+    TransactionSpec,
+    TxnResult,
+)
+from repro.net.link import LinkConfig
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.storage.log import StableLog
+
+PREPARED = "prepared"
+ABORTED = "aborted"
+
+# -- wire protocol ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BeginMsg:
+    """Ballot-0 leader -> participant: your ops and the full roster."""
+
+    txn_id: str
+    coordinator: str
+    participants: tuple[str, ...]
+    ops: tuple[SimpleOp, ...]
+
+
+@dataclass(frozen=True)
+class Phase1a:
+    """Recovery leader -> acceptor: promise me ballot ``ballot``."""
+
+    txn_id: str
+    participant: str
+    ballot: int
+    leader: str
+    participants: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Phase1b:
+    """Acceptor -> leader: promised; here is what I last accepted."""
+
+    txn_id: str
+    participant: str
+    ballot: int
+    acceptor: str
+    accepted_ballot: int = -1
+    accepted_value: str = ""
+
+
+@dataclass(frozen=True)
+class Phase2a:
+    """Leader (or the participant itself at ballot 0) -> acceptor."""
+
+    txn_id: str
+    participant: str
+    ballot: int
+    value: str  # PREPARED | ABORTED
+    leader: str
+    participants: tuple[str, ...]
+    reads: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class Phase2b:
+    """Acceptor -> the ballot's leader: accepted (ballot, value)."""
+
+    txn_id: str
+    participant: str
+    ballot: int
+    value: str
+    acceptor: str
+    participants: tuple[str, ...]
+    reads: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class DecisionMsg:
+    txn_id: str
+    commit: bool
+
+
+@dataclass(frozen=True)
+class DecisionAck:
+    txn_id: str
+    participant: str
+
+
+# -- per-site state ----------------------------------------------------------
+
+
+@dataclass
+class _Coordination:
+    """Client-facing state at the origin (the ballot-0 leader)."""
+
+    txn_id: str
+    label: str
+    ops_by_site: dict[str, tuple[SimpleOp, ...]]
+    done: PendingDone
+    submitted_at: float
+    read_values: dict[str, Any] = field(default_factory=dict)
+    decided: bool = False
+    commit: bool = False
+
+
+@dataclass
+class _Prepared:
+    """Participant-side in-doubt state (locks held)."""
+
+    txn_id: str
+    coordinator: str
+    participants: tuple[str, ...]
+    ops: tuple[SimpleOp, ...]
+    prepared_at: float
+
+
+@dataclass
+class _AcceptorSlot:
+    """One acceptor's state for one (txn, participant) instance."""
+
+    promised: int = -1
+    accepted_ballot: int = -1
+    accepted_value: str = ""
+
+
+@dataclass
+class _Lead:
+    """Leader-side Paxos bookkeeping for one transaction.
+
+    The origin holds one from submission (ballot 0); any participant
+    that takes over after a timeout creates its own. ``support`` counts
+    phase-2b acceptors per (instance, ballot, value); ``promises``
+    collects phase-1b replies per (instance, ballot).
+    """
+
+    txn_id: str
+    roster: tuple[str, ...]
+    rounds: int = 0
+    ballot: int = 0
+    chosen: dict[str, str] = field(default_factory=dict)
+    support: dict[tuple[str, int, str], set[str]] = \
+        field(default_factory=dict)
+    promises: dict[tuple[str, int], dict[str, tuple[int, str]]] = \
+        field(default_factory=dict)
+    proposed: set[tuple[str, int]] = field(default_factory=set)
+    round_started_at: float = 0.0
+    decided: bool = False
+    commit: bool = False
+    acked: set[str] = field(default_factory=set)
+
+
+class PaxosCommitSite:
+    """One site: client leader, participant, and (maybe) acceptor."""
+
+    def __init__(self, name: str, sim: Simulator, network: Network,
+                 config: BaselineConfig, home: dict[str, str],
+                 system: "PaxosCommitSystem") -> None:
+        self.name = name
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.home = home
+        self.system = system
+        self.store = WholeStore()
+        self.log = StableLog(name)
+        self.alive = True
+        self._ids = IdSource(name)
+        self._coordinations: dict[str, _Coordination] = {}
+        self._prepared: dict[str, _Prepared] = {}
+        self._applied: set[str] = set()
+        self._led: dict[str, _Lead] = {}
+        self._acc: dict[tuple[str, str], _AcceptorSlot] = {}
+        self._timers: dict[str, Timer] = {}
+        self._decision_pusher = PeriodicTimer(
+            sim, config.retry_period, self._push_decisions,
+            label=f"paxos-decisions:{name}")
+        self._takeover_pusher = PeriodicTimer(
+            sim, config.retry_period, self._push_takeovers,
+            label=f"paxos-takeover:{name}")
+        network.register(name, self.deliver)
+
+    # -- client API -------------------------------------------------------
+
+    def submit(self, spec: TransactionSpec,
+               on_done: Callable[[TxnResult], None] | None) -> str:
+        txn_id = self._ids.next()
+        ops_by_site = partition_ops(spec, self.home)
+        roster = tuple(sorted(ops_by_site))
+        coordination = _Coordination(
+            txn_id=txn_id, label=spec.label, ops_by_site=ops_by_site,
+            done=PendingDone(on_done), submitted_at=self.sim.now)
+        self._coordinations[txn_id] = coordination
+        self._led[txn_id] = _Lead(txn_id, roster)
+        self.log.append(("coord-begin", txn_id, sorted(ops_by_site)))
+        for participant, ops in ops_by_site.items():
+            message = BeginMsg(txn_id, self.name, roster, ops)
+            if participant == self.name:
+                self._on_begin(message)
+            else:
+                self.network.send(self.name, participant, message)
+        timer = Timer(self.sim, lambda: self._client_timeout(txn_id),
+                      label=f"paxos-timeout:{txn_id}")
+        timer.start(self.config.txn_timeout)
+        self._timers[txn_id] = timer
+        return txn_id
+
+    def _client_timeout(self, txn_id: str) -> None:
+        """The origin cannot presume abort unilaterally (an instance
+        may already have chosen "prepared"); it *proposes* abort by
+        running recovery rounds until the consensus decides."""
+        lead = self._led.get(txn_id)
+        if lead is None or lead.decided:
+            return
+        self._takeover(lead)
+        self._takeover_pusher.start()
+
+    # -- message dispatch -------------------------------------------------
+
+    def deliver(self, envelope: Envelope) -> None:
+        if not self.alive:
+            return
+        payload = envelope.payload
+        if isinstance(payload, BeginMsg):
+            self._on_begin(payload)
+        elif isinstance(payload, Phase1a):
+            self._on_phase1a(payload)
+        elif isinstance(payload, Phase1b):
+            self._on_phase1b(payload)
+        elif isinstance(payload, Phase2a):
+            self._on_phase2a(payload)
+        elif isinstance(payload, Phase2b):
+            self._on_phase2b(payload)
+        elif isinstance(payload, DecisionMsg):
+            self._on_decision(payload, src=envelope.src)
+        elif isinstance(payload, DecisionAck):
+            self._on_decision_ack(payload)
+
+    def _route(self, dst: str, payload: Any) -> None:
+        if dst == self.name:
+            self.deliver(Envelope(src=self.name, dst=dst, payload=payload))
+        else:
+            self.network.send(self.name, dst, payload)
+
+    # -- participant side -------------------------------------------------
+
+    def _on_begin(self, message: BeginMsg) -> None:
+        if message.txn_id in self._prepared or \
+                message.txn_id in self._applied:
+            return  # duplicate
+        vote = PREPARED
+        reads: list[tuple[str, Any]] = []
+        items = {op.item for op in message.ops}
+        for item in items:
+            if self.store.get(item).locked_by is not None:
+                vote = ABORTED
+        if vote == PREPARED:
+            shadow = {item: self.store.get(item).value for item in items}
+            for op in message.ops:
+                if op.kind == "dec":
+                    if shadow[op.item] < op.amount:
+                        vote = ABORTED
+                        break
+                    shadow[op.item] -= op.amount
+                elif op.kind == "inc":
+                    shadow[op.item] += op.amount
+                else:
+                    reads.append((op.item, shadow[op.item]))
+        if vote == PREPARED:
+            for item in items:
+                self.store.get(item).locked_by = message.txn_id
+            self.log.append(("prepared", message.txn_id,
+                             message.coordinator, message.participants,
+                             message.ops))
+            self._prepared[message.txn_id] = _Prepared(
+                message.txn_id, message.coordinator, message.participants,
+                message.ops, self.sim.now)
+            self._takeover_pusher.start()
+        # The vote is the instance's ballot-0 phase-2a, sent straight
+        # to every acceptor (paper §4's co-location optimization).
+        proposal = Phase2a(message.txn_id, self.name, 0, vote,
+                           message.coordinator, message.participants,
+                           tuple(reads))
+        for acceptor in self.system.acceptors:
+            self._route(acceptor, proposal)
+
+    def _on_decision(self, message: DecisionMsg, src: str) -> None:
+        prepared = self._prepared.pop(message.txn_id, None)
+        self._applied.add(message.txn_id)
+        if prepared is not None:
+            blocked_for = self.sim.now - prepared.prepared_at
+            self.system.record_lock_hold(self.name, message.txn_id,
+                                         blocked_for)
+            if message.commit:
+                for op in prepared.ops:
+                    item = self.store.get(op.item)
+                    if op.kind == "dec":
+                        item.value -= op.amount
+                    elif op.kind == "inc":
+                        item.value += op.amount
+                    item.version += 1
+                self.log.append(("participant-commit", message.txn_id))
+            else:
+                self.log.append(("participant-abort", message.txn_id))
+            for op in prepared.ops:
+                item = self.store.get(op.item)
+                if item.locked_by == message.txn_id:
+                    item.locked_by = None
+        if src != self.name:
+            self._route(src, DecisionAck(message.txn_id, self.name))
+        else:
+            self._on_decision_ack(DecisionAck(message.txn_id, self.name))
+        # The origin's client callback rides on its own leader state.
+        self._learn_decision(message.txn_id, message.commit)
+
+    def _push_takeovers(self) -> None:
+        """Leader election on coordinator timeout: every prepared
+        participant that has waited out the transaction timeout starts
+        (or escalates) its own recovery rounds."""
+        outstanding = False
+        for prepared in list(self._prepared.values()):
+            age = self.sim.now - prepared.prepared_at
+            if age < self.config.txn_timeout:
+                outstanding = True  # not yet suspicious; keep watching
+                continue
+            lead = self._led.setdefault(
+                prepared.txn_id,
+                _Lead(prepared.txn_id, prepared.participants))
+            if lead.decided:
+                continue
+            outstanding = True
+            self.system.recovery_messages += 1
+            self._takeover(lead)
+        for lead in self._led.values():
+            # The origin proposing abort after its client timeout also
+            # keeps escalating until the consensus answers.
+            if not lead.decided and lead.rounds > 0 and \
+                    lead.txn_id not in self._prepared:
+                outstanding = True
+                self._takeover(lead)
+        if not outstanding:
+            self._takeover_pusher.stop()
+
+    # -- leader side ------------------------------------------------------
+
+    def _ballot(self, rounds: int) -> int:
+        """Ballots unique to this site: round * n + rank (ballot 0 is
+        reserved for the participants' own votes)."""
+        names = self.system.site_names
+        return rounds * len(names) + names.index(self.name) + 1
+
+    def _takeover(self, lead: _Lead) -> None:
+        if lead.decided:
+            return
+        if lead.rounds > 0 and (self.sim.now - lead.round_started_at
+                                <= self.config.retry_period):
+            # The previous round has not had a full retry period to
+            # come back yet. Escalating here would raise the ballot at
+            # the very instant the old round's phase-1b replies land,
+            # so they would all fail the current-ballot check — with a
+            # retry period at or below the network round trip that
+            # repeats every round and the recovery livelocks.
+            return
+        lead.rounds += 1
+        lead.round_started_at = self.sim.now
+        lead.ballot = self._ballot(lead.rounds)
+        for participant in lead.roster:
+            if participant in lead.chosen:
+                continue
+            inquiry = Phase1a(lead.txn_id, participant, lead.ballot,
+                              self.name, lead.roster)
+            for acceptor in self.system.acceptors:
+                self._route(acceptor, inquiry)
+
+    def _on_phase1b(self, message: Phase1b) -> None:
+        lead = self._led.get(message.txn_id)
+        if lead is None or lead.decided or message.ballot != lead.ballot:
+            return
+        key = (message.participant, message.ballot)
+        replies = lead.promises.setdefault(key, {})
+        replies[message.acceptor] = (message.accepted_ballot,
+                                     message.accepted_value)
+        if len(replies) < self.system.majority or key in lead.proposed:
+            return
+        lead.proposed.add(key)
+        # Classic Paxos choice rule: adopt the value of the highest
+        # accepted ballot; free choice (no acceptor accepted anything
+        # for this instance) means the participant never voted — the
+        # paper's rule is to choose "aborted".
+        accepted_ballot, accepted_value = max(replies.values())
+        value = accepted_value if accepted_ballot >= 0 else ABORTED
+        proposal = Phase2a(lead.txn_id, message.participant, lead.ballot,
+                           value, self.name, lead.roster)
+        for acceptor in self.system.acceptors:
+            self._route(acceptor, proposal)
+
+    def _on_phase2b(self, message: Phase2b) -> None:
+        lead = self._led.get(message.txn_id)
+        if lead is None:
+            return
+        if not lead.roster:
+            lead.roster = message.participants
+        coordination = self._coordinations.get(message.txn_id)
+        if coordination is not None:
+            coordination.read_values.update(dict(message.reads))
+        if lead.decided:
+            return
+        key = (message.participant, message.ballot, message.value)
+        backers = lead.support.setdefault(key, set())
+        backers.add(message.acceptor)
+        if len(backers) < self.system.majority:
+            return
+        lead.chosen.setdefault(message.participant, message.value)
+        if set(lead.chosen) == set(lead.roster):
+            commit = all(value == PREPARED
+                         for value in lead.chosen.values())
+            self._decide(lead, commit)
+
+    def _decide(self, lead: _Lead, commit: bool) -> None:
+        lead.decided = True
+        lead.commit = commit
+        self.log.append(("coord-decision", lead.txn_id, commit))
+        self._broadcast_decision(lead)
+        self._decision_pusher.start()
+        self._learn_decision(lead.txn_id, commit)
+
+    def _broadcast_decision(self, lead: _Lead) -> None:
+        message = DecisionMsg(lead.txn_id, lead.commit)
+        targets = set(lead.roster)
+        origin = lead.txn_id.split("#", 1)[0]
+        targets.add(origin)
+        for target in targets - lead.acked:
+            self._route(target, message)
+
+    def _push_decisions(self) -> None:
+        outstanding = False
+        for lead in self._led.values():
+            if lead.decided and \
+                    lead.acked < set(lead.roster) | \
+                    {lead.txn_id.split("#", 1)[0]}:
+                outstanding = True
+                self._broadcast_decision(lead)
+        if not outstanding:
+            self._decision_pusher.stop()
+
+    def _on_decision_ack(self, ack: DecisionAck) -> None:
+        lead = self._led.get(ack.txn_id)
+        if lead is not None:
+            lead.acked.add(ack.participant)
+
+    def _learn_decision(self, txn_id: str, commit: bool) -> None:
+        """Resolve the client callback at the origin, exactly once."""
+        lead = self._led.get(txn_id)
+        if lead is not None and not lead.decided:
+            lead.decided = True
+            lead.commit = commit
+        coordination = self._coordinations.get(txn_id)
+        if coordination is None or coordination.decided:
+            return
+        coordination.decided = True
+        coordination.commit = commit
+        timer = self._timers.pop(txn_id, None)
+        if timer is not None:
+            timer.cancel()
+        deltas: list[tuple[str, int, Any]] = []
+        if commit:
+            for ops in coordination.ops_by_site.values():
+                for op in ops:
+                    if op.kind == "dec":
+                        deltas.append((op.item, -1, op.amount))
+                    elif op.kind == "inc":
+                        deltas.append((op.item, +1, op.amount))
+        outcome = Outcome.COMMITTED if commit else Outcome.ABORTED
+        reason = "ok" if commit else "vote-no"
+        coordination.done.fire(make_result(
+            txn_id, coordination.label, outcome, reason, self.name,
+            coordination.submitted_at, self.sim.now, deltas=deltas,
+            read_values=coordination.read_values))
+        self.system.record_result(coordination.done.collected[-1])
+
+    # -- acceptor side ----------------------------------------------------
+
+    def _on_phase1a(self, message: Phase1a) -> None:
+        slot = self._acc.setdefault(
+            (message.txn_id, message.participant), _AcceptorSlot())
+        if message.ballot <= slot.promised:
+            return
+        slot.promised = message.ballot
+        self.log.append(("paxos-promise", message.txn_id,
+                         message.participant, message.ballot))
+        self._route(message.leader, Phase1b(
+            message.txn_id, message.participant, message.ballot,
+            self.name, slot.accepted_ballot, slot.accepted_value))
+
+    def _on_phase2a(self, message: Phase2a) -> None:
+        slot = self._acc.setdefault(
+            (message.txn_id, message.participant), _AcceptorSlot())
+        if message.ballot < slot.promised:
+            return
+        slot.promised = message.ballot
+        slot.accepted_ballot = message.ballot
+        slot.accepted_value = message.value
+        self.log.append(("paxos-accept", message.txn_id,
+                         message.participant, message.ballot,
+                         message.value))
+        self._route(message.leader, Phase2b(
+            message.txn_id, message.participant, message.ballot,
+            message.value, self.name, message.participants,
+            message.reads))
+
+    # -- failure injection ------------------------------------------------
+
+    def crash(self) -> None:
+        self.alive = False
+        self._decision_pusher.stop()
+        self._takeover_pusher.stop()
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._coordinations.clear()
+        self._prepared.clear()
+        self._applied.clear()
+        self._led.clear()
+        self._acc.clear()
+        for item in self.store.items().values():
+            item.locked_by = None
+
+    def recover(self) -> dict[str, Any]:
+        """Rebuild acceptor state and in-doubt participations from the
+        log. Unlike 2PC, an in-doubt participant does not depend on one
+        coordinator: its takeover rounds re-learn the outcome from any
+        majority of acceptors."""
+        self.alive = True
+        decided: set[str] = set()
+        prepared: dict[str, tuple[str, tuple[str, ...],
+                                  tuple[SimpleOp, ...]]] = {}
+        scanned = 0
+        for envelope in self.log.scan():
+            scanned += 1
+            record = envelope.record
+            if record[0] == "prepared":
+                prepared[record[1]] = (record[2], record[3], record[4])
+            elif record[0] in ("participant-commit", "participant-abort"):
+                decided.add(record[1])
+            elif record[0] == "paxos-promise":
+                slot = self._acc.setdefault((record[1], record[2]),
+                                            _AcceptorSlot())
+                slot.promised = max(slot.promised, record[3])
+            elif record[0] == "paxos-accept":
+                slot = self._acc.setdefault((record[1], record[2]),
+                                            _AcceptorSlot())
+                slot.promised = max(slot.promised, record[3])
+                if record[3] >= slot.accepted_ballot:
+                    slot.accepted_ballot = record[3]
+                    slot.accepted_value = record[4]
+        self._applied |= decided
+        in_doubt = {txn_id: info for txn_id, info in prepared.items()
+                    if txn_id not in decided}
+        for txn_id, (coordinator, roster, ops) in in_doubt.items():
+            for op in ops:
+                self.store.get(op.item).locked_by = txn_id
+            self._prepared[txn_id] = _Prepared(
+                txn_id, coordinator, roster, ops,
+                self.sim.now - self.config.txn_timeout)
+        if in_doubt:
+            self._push_takeovers()
+            self._takeover_pusher.start()
+        return {"site": self.name, "scanned": scanned,
+                "in_doubt": len(in_doubt),
+                "messages_needed": len(in_doubt)}
+
+
+class PaxosCommitSystem:
+    """A distributed database committing through Paxos Commit."""
+
+    def __init__(self, sites: list[str], seed: int = 0,
+                 link: LinkConfig | None = None,
+                 config: BaselineConfig | None = None,
+                 acceptors: list[str] | None = None) -> None:
+        self.sim = Simulator(seed)
+        self.network = Network(self.sim, link or LinkConfig())
+        self.config = config or BaselineConfig()
+        self.home: dict[str, str] = {}
+        self.results: list[TxnResult] = []
+        self.lock_holds: list[tuple[str, str, float]] = []
+        self.recovery_messages = 0
+        self.site_names = list(sites)
+        if acceptors is None:
+            # 2F+1 acceptors; F capped at 2 so the acceptor round does
+            # not scale with the site count (the paper recommends a
+            # small fixed acceptor set — F failures tolerated).
+            f = min((len(sites) - 1) // 2, 2)
+            acceptors = list(sites[:2 * f + 1])
+        unknown = set(acceptors) - set(sites)
+        if unknown:
+            raise ValueError(f"acceptors {sorted(unknown)} are not sites")
+        self.acceptors = list(acceptors)
+        self.majority = len(self.acceptors) // 2 + 1
+        self.sites = {name: PaxosCommitSite(name, self.sim, self.network,
+                                            self.config, self.home, self)
+                      for name in sites}
+
+    def add_item(self, item: str, home: str, initial: Any) -> None:
+        self.home[item] = home
+        self.sites[home].store.create(item, initial)
+
+    def submit(self, origin: str, spec: TransactionSpec,
+               on_done: Callable[[TxnResult], None] | None = None) -> str:
+        return self.sites[origin].submit(spec, on_done)
+
+    def record_result(self, result: TxnResult) -> None:
+        self.results.append(result)
+
+    def record_lock_hold(self, site: str, txn_id: str,
+                         duration: float) -> None:
+        self.lock_holds.append((site, txn_id, duration))
+
+    def currently_blocked(self) -> list[tuple[str, str, float]]:
+        """Prepared participants still awaiting a decision — with a
+        majority of acceptors connected this drains; 2PC's equivalent
+        does not while its coordinator stays dark."""
+        blocked = []
+        for site in self.sites.values():
+            for prepared in site._prepared.values():
+                blocked.append((site.name, prepared.txn_id,
+                                self.sim.now - prepared.prepared_at))
+        return blocked
+
+    def total_value(self, items: list[str] | None = None) -> Any:
+        names = items if items is not None else list(self.home)
+        return sum(self.sites[self.home[item]].store.get(item).value
+                   for item in names)
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run_until(self.sim.now + duration)
+
+    def crash(self, site: str) -> None:
+        self.sites[site].crash()
+
+    def recover(self, site: str) -> dict[str, Any]:
+        return self.sites[site].recover()

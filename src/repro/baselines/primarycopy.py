@@ -21,6 +21,7 @@ from repro.baselines.common import (
     BaselineConfig,
     IdSource,
     PendingDone,
+    UnknownItem,
     WholeStore,
     make_result,
 )
@@ -91,6 +92,11 @@ class PrimaryCopySite:
                              "single-item txns")
         txn_id = self._ids.next()
         item = next(iter(spec.items()))
+        if item not in self.system.primary:
+            # Typed refusal before any message leaves: neither the
+            # local stale-read path nor the primary should discover a
+            # nonexistent item inside a delivery event.
+            raise UnknownItem(f"unknown item {item!r}")
         is_read_only = all(isinstance(op, ReadFullOp) for op in spec.ops)
         if is_read_only and self.system.allow_stale_reads:
             value = self.store.get(item).value

@@ -23,6 +23,7 @@ from repro.baselines.common import (
     BaselineConfig,
     IdSource,
     PendingDone,
+    UnknownItem,
     WholeStore,
     make_result,
 )
@@ -112,6 +113,12 @@ class QuorumSite:
                on_done: Callable[[TxnResult], None] | None) -> str:
         if len(spec.items()) != 1:
             raise UnsupportedSpec("quorum baseline supports single-item txns")
+        item = next(iter(spec.items()))
+        if item not in self.store:
+            # Typed refusal at submit time: a replica receiving a lock
+            # request for a nonexistent item would otherwise blow up
+            # inside a delivery event.
+            raise UnknownItem(f"unknown item {item!r}")
         txn_id = self._ids.next()
         attempt = _Attempt(txn_id, spec, PendingDone(on_done), self.sim.now)
         self._attempts[txn_id] = attempt
@@ -187,7 +194,15 @@ class QuorumSite:
                 self._send_release(reply.txn_id, reply.item, reply.replica)
             return
         if reply.round != attempt.round:
-            return  # reply from an abandoned round
+            # A *grant* from an abandoned round still holds the lock at
+            # that replica: the retry released only the grants it had
+            # seen when it reset. Unless the current round re-granted
+            # there (same txn id — releasing would drop a lock we
+            # hold), give it back, or the replica stays locked by this
+            # transaction forever once it finishes elsewhere.
+            if reply.granted and reply.replica not in attempt.grants:
+                self._send_release(reply.txn_id, reply.item, reply.replica)
+            return
         if reply.granted:
             attempt.grants[reply.replica] = (reply.version, reply.value)
         else:
@@ -282,6 +297,27 @@ class QuorumSite:
         else:
             self.network.send(self.name, replica, request)
 
+    # -- failure injection ------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: volatile coordination state is gone. Replica
+        locks are released (they lived in memory); versioned values
+        survive, so a coordinator's later write still version-checks.
+        Retry backoffs armed before the crash hit ``_retry_fire`` with
+        no matching attempt and fall through — nothing re-arms against
+        the pre-crash incarnation."""
+        self.alive = False
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._attempts.clear()
+        for item in self.store.items().values():
+            item.locked_by = None
+
+    def recover(self) -> dict[str, Any]:
+        self.alive = True
+        return {"site": self.name, "in_doubt": 0}
+
 
 class QuorumSystem:
     """Fully replicated items under quorum consensus."""
@@ -311,6 +347,12 @@ class QuorumSystem:
 
     def run_for(self, duration: float) -> None:
         self.sim.run_until(self.sim.now + duration)
+
+    def crash(self, site: str) -> None:
+        self.sites[site].crash()
+
+    def recover(self, site: str) -> Any:
+        return self.sites[site].recover()
 
     def value(self, item: str) -> Any:
         """Latest-version value across replicas (god's-eye read)."""

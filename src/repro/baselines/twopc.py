@@ -23,18 +23,15 @@ from repro.baselines.common import (
     BaselineConfig,
     IdSource,
     PendingDone,
+    SimpleOp,
     WholeStore,
     make_result,
+    partition_ops,
 )
 from repro.core.transactions import (
-    DecrementOp,
-    IncrementOp,
     Outcome,
-    ReadFullOp,
     TransactionSpec,
-    TransferOp,
     TxnResult,
-    UnsupportedSpec,
 )
 from repro.net.link import LinkConfig
 from repro.net.message import Envelope
@@ -44,15 +41,6 @@ from repro.sim.timers import PeriodicTimer, Timer
 from repro.storage.log import StableLog
 
 # -- wire protocol ------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class SimpleOp:
-    """A home-site-local effect: +amount / -amount / read."""
-
-    kind: str  # "inc" | "dec" | "read"
-    item: str
-    amount: Any = None
 
 
 @dataclass(frozen=True)
@@ -147,7 +135,7 @@ class TwoPCSite:
     def submit(self, spec: TransactionSpec,
                on_done: Callable[[TxnResult], None] | None) -> str:
         txn_id = self._ids.next()
-        ops_by_site = self._partition_ops(spec)
+        ops_by_site = partition_ops(spec, self.home)
         coordination = _Coordination(
             txn_id=txn_id, label=spec.label,
             participants=set(ops_by_site),
@@ -166,27 +154,6 @@ class TwoPCSite:
         timer.start(self.config.txn_timeout)
         self._timers[txn_id] = timer
         return txn_id
-
-    def _partition_ops(self, spec: TransactionSpec
-                       ) -> dict[str, tuple[SimpleOp, ...]]:
-        grouped: dict[str, list[SimpleOp]] = {}
-
-        def add(op: SimpleOp) -> None:
-            grouped.setdefault(self.home[op.item], []).append(op)
-
-        for op in spec.ops:
-            if isinstance(op, DecrementOp):
-                add(SimpleOp("dec", op.item, op.amount))
-            elif isinstance(op, IncrementOp):
-                add(SimpleOp("inc", op.item, op.amount))
-            elif isinstance(op, TransferOp):
-                add(SimpleOp("dec", op.src_item, op.amount))
-                add(SimpleOp("inc", op.dst_item, op.amount))
-            elif isinstance(op, ReadFullOp):
-                add(SimpleOp("read", op.item))
-            else:
-                raise UnsupportedSpec(f"unsupported op for 2PC: {op!r}")
-        return {site: tuple(ops) for site, ops in grouped.items()}
 
     # -- message dispatch -----------------------------------------------------
 

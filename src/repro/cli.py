@@ -188,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="sample elastic-topology motifs too "
                                    "(site joins, decommissions, replica "
                                    "reshards; see docs/PARTITIONING.md)")
+    chaos_parser.add_argument("--baseline", default=None,
+                              choices=["paxos"],
+                              help="explore a commit-protocol baseline "
+                                   "(crash/partition motifs, "
+                                   "conservation + agreement + liveness "
+                                   "oracles) instead of the DvP system")
     chaos_parser.add_argument("--sites", type=int, default=4)
     chaos_parser.add_argument("--items", type=int, default=2)
     chaos_parser.add_argument("--txns", type=int, default=24)

@@ -140,7 +140,25 @@ def replay_main(args, out: "TextIO | None" = None) -> int:
     return 0
 
 
+def baseline_main(args, out: "TextIO | None" = None) -> int:
+    """Explore a coordinated-commit baseline instead of DvP."""
+    out = out if out is not None else sys.stdout
+    from repro.chaos.baseline_chaos import explore_baseline
+
+    report = explore_baseline(config_from_args(args),
+                              budget=args.budget, master_seed=args.seed)
+    print(report.describe(), file=out)
+    return 0 if report.ok else 1
+
+
 def main(args, out: "TextIO | None" = None) -> int:
+    if getattr(args, "baseline", None):
+        if args.replay or args.shrink or args.inject:
+            print("--baseline composes only with explore flags "
+                  "(--budget/--seed/--sites/--items/--txns/--duration/"
+                  "--timeout)", file=out or sys.stdout)
+            return 2
+        return baseline_main(args, out=out)
     if args.replay:
         return replay_main(args, out=out)
     return explore_main(args, out=out)

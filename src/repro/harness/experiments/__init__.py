@@ -23,6 +23,7 @@ _MODULES = {
     "E12": "e12_rebalance",
     "E13": "e13_reshard",
     "E14": "e14_serving",
+    "E15": "e15_commit",
 }
 
 

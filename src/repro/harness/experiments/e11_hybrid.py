@@ -27,12 +27,14 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.domain import CounterDomain
+from repro.core.site import SiteDown
 from repro.core.system import DvPSystem, SystemConfig
 from repro.core.transactions import (
     DecrementOp,
     IncrementOp,
     ReadFullOp,
     TransactionSpec,
+    UnsupportedSpec,
 )
 from repro.harness.parallel import evaluate_cells
 from repro.hybrid import HybridSystem
@@ -87,7 +89,12 @@ def _schedule_phase(system, hybrid: HybridSystem, params: Params,
                 collector.on_submit(at=system.sim.now)
                 try:
                     hybrid.submit(s, sp, collector.on_result)
-                except Exception:
+                except (SiteDown, UnsupportedSpec):
+                    # Typed refusals only — the submission is lost (a
+                    # down site, a spec the router cannot place), which
+                    # the collector's submitted-vs-results accounting
+                    # absorbs. Anything else is a programming error in
+                    # the routing path and must propagate.
                     pass
 
             system.sim.at(time, arrive)

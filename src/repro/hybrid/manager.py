@@ -28,6 +28,7 @@ from typing import Any, Callable
 from repro.core.site import SiteDown
 from repro.core.system import DvPSystem
 from repro.core.transactions import (
+    ApplyOp,
     Outcome,
     ReadFullOp,
     ReadLocalOp,
@@ -73,13 +74,36 @@ class _PendingForward:
 
 
 class HybridSystem:
-    """Mode-aware routing façade over a DvPSystem."""
+    """Mode-aware routing façade over a DvPSystem.
 
-    def __init__(self, system: DvPSystem) -> None:
+    With ``path_sensitive=True`` the manager applies Soethout et al.'s
+    local coordination avoidance (*Path-Sensitive Atomic Commit*,
+    PAPERS.md) before forwarding: if every path through the submitted
+    spec provably commits from the origin's local fragment alone —
+    update-only ops whose aggregate needs the fragment covers;
+    increments trivially qualify — the transaction is decided locally
+    as an ordinary DvP transaction instead of round-tripping to the
+    centralized home. The underlying protocol is mode-oblivious, so
+    the fast path can never create inconsistency; its only cost is
+    dispersal (the home's fragment stops being the whole value, so
+    full reads there lose the free-local rewrite until the next
+    consolidation).
+    """
+
+    def __init__(self, system: DvPSystem,
+                 path_sensitive: bool = False) -> None:
         self.system = system
+        self.path_sensitive = path_sensitive
         self.modes: dict[str, ItemMode] = {}
         self.homes: dict[str, str] = {}
         self.forwarded = 0
+        self.local_commits = 0
+        self._c_local = system.sim.metrics.counter("hybrid.local_commits")
+        self._c_forward = system.sim.metrics.counter("hybrid.forwards")
+        #: Centralized items whose value leaked away from the home via
+        #: path-sensitive local commits at other sites; their full
+        #: reads must fan out again until re-consolidated.
+        self._dispersed: set[str] = set()
         self._forward_ids = itertools.count(1)
         self._pending: dict[int, _PendingForward] = {}
         # Interpose on every site's delivery to catch Forward* payloads.
@@ -112,6 +136,9 @@ class HybridSystem:
             if result.committed:
                 self.modes[item] = ItemMode.CENTRAL
                 self.homes[item] = home
+                # The full read drained every fragment (including any
+                # path-sensitively dispersed ones) back to the home.
+                self._dispersed.discard(item)
             if on_done is not None:
                 on_done(result)
 
@@ -163,6 +190,7 @@ class HybridSystem:
             site.after_lock_release()
         self.modes[item] = ItemMode.DVP
         del self.homes[item]
+        self._dispersed.discard(item)
         return True
 
     # -- routing ---------------------------------------------------------------
@@ -177,6 +205,20 @@ class HybridSystem:
         """
         homes = {self.homes[item] for item in spec.items()
                  if self.mode_of(item) is ItemMode.CENTRAL}
+        if self.path_sensitive and homes - {site} and \
+                self._locally_decidable(site, spec):
+            # Soethout check passed: every path through this spec
+            # commits from the local fragment alone, so skip the
+            # forward entirely and decide here. Remember which
+            # centralized items just leaked value away from home.
+            self.local_commits += 1
+            self._c_local.inc()
+            for item in spec.update_items():
+                if self.mode_of(item) is ItemMode.CENTRAL and \
+                        self.homes.get(item) != site:
+                    self._dispersed.add(item)
+            self.system.submit(site, spec, on_done)
+            return
         if len(homes) > 1:
             raise ValueError(
                 f"spec touches centralized items with different homes: "
@@ -188,6 +230,32 @@ class HybridSystem:
             return
         self._forward(site, target, spec, on_done)
 
+    def _locally_decidable(self, site: str, spec: TransactionSpec) -> bool:
+        """True iff the origin's fragments provably cover every path
+        through *spec*: no full reads (their value depends on global
+        state), no opaque operators (unprovable preconditions), and
+        the local fragment covers the spec's aggregate per-item needs
+        — increments need nothing, so they always qualify."""
+        for op in spec.ops:
+            if isinstance(op, ReadFullOp):
+                return False
+            if isinstance(op, ApplyOp):
+                try:
+                    op.operator.delta(
+                        self.system.sites[site].fragments.domain(op.item))
+                except (NotImplementedError, KeyError):
+                    return False
+        origin = self.system.sites[site]
+        try:
+            needs = spec.needs(origin.fragments.domain)
+            for item, need in needs.items():
+                domain = origin.fragments.domain(item)
+                if not domain.covers(origin.fragments.value(item), need):
+                    return False
+        except KeyError:
+            return False  # an item this site never registered
+        return True
+
     def _localize_reads(self, site: str,
                         spec: TransactionSpec) -> TransactionSpec:
         """At an item's home the fragment IS the value: rewrite full
@@ -197,7 +265,8 @@ class HybridSystem:
         for op in spec.ops:
             if isinstance(op, ReadFullOp) and \
                     self.mode_of(op.item) is ItemMode.CENTRAL and \
-                    self.homes.get(op.item) == site:
+                    self.homes.get(op.item) == site and \
+                    op.item not in self._dispersed:
                 rewritten.append(ReadLocalOp(op.item))
                 changed = True
             else:
@@ -210,6 +279,7 @@ class HybridSystem:
     def _forward(self, origin: str, home: str, spec: TransactionSpec,
                  on_done: Callable[[TxnResult], None] | None) -> None:
         self.forwarded += 1
+        self._c_forward.inc()
         forward_id = next(self._forward_ids)
         pending = _PendingForward(spec, origin, self.system.sim.now,
                                   on_done)

@@ -21,9 +21,40 @@ def test_quick_preset_produces_table(experiment_id):
 
 
 def test_registry_is_complete():
-    assert experiments.all_ids() == [f"E{n}" for n in range(1, 15)]
+    assert experiments.all_ids() == [f"E{n}" for n in range(1, 16)]
 
 
 def test_unknown_experiment_rejected():
     with pytest.raises(KeyError):
         experiments.get("E99")
+
+
+class TestE11TypedRefusals:
+    """Regression for the bare ``except Exception: pass`` that used to
+    wrap E11 arrivals: only the typed refusals (SiteDown,
+    UnsupportedSpec) may be swallowed; programming errors in the
+    routing path must propagate."""
+
+    def test_programming_errors_propagate(self, monkeypatch):
+        from repro.harness.experiments import e11_hybrid
+        from repro.hybrid import HybridSystem
+
+        def broken_submit(self, site, spec, on_done=None):
+            raise TypeError("routing bug")
+
+        monkeypatch.setattr(HybridSystem, "submit", broken_submit)
+        with pytest.raises(TypeError, match="routing bug"):
+            e11_hybrid._run_one(e11_hybrid.Params.quick(), "dvp")
+
+    def test_typed_refusals_are_absorbed(self, monkeypatch):
+        from repro.core.site import SiteDown
+        from repro.harness.experiments import e11_hybrid
+        from repro.hybrid import HybridSystem
+
+        def down_submit(self, site, spec, on_done=None):
+            raise SiteDown(site)
+
+        monkeypatch.setattr(HybridSystem, "submit", down_submit)
+        stats = e11_hybrid._run_one(e11_hybrid.Params.quick(), "dvp")
+        # Every arrival was refused: submitted counts stay, commits 0.
+        assert stats["phase1"]["commit"] == 0.0

@@ -176,3 +176,104 @@ class TestRoundTrip:
         system.run_for(100.0)
         system.auditor.assert_ok()
         assert system.auditor.expected("x") == 65
+
+
+def build_path_sensitive(timeout=12.0):
+    system = DvPSystem(SystemConfig(
+        sites=["A", "B", "C"], seed=21, txn_timeout=timeout,
+        link=LinkConfig(base_delay=1.0)))
+    system.add_item("x", CounterDomain(), total=90)
+    return system, HybridSystem(system, path_sensitive=True)
+
+
+class TestPathSensitive:
+    """Soethout-style local coordination avoidance: a provably-local
+    transaction at a non-home site commits there instead of being
+    forwarded to the centralized home."""
+
+    def test_increment_at_non_home_commits_locally(self):
+        system, hybrid = build_path_sensitive()
+        consolidate(system, hybrid)
+        forwards_before = hybrid.forwarded
+        results = []
+        hybrid.submit("B", TransactionSpec(
+            ops=(IncrementOp("x", 5),)), results.append)
+        system.run_for(10.0)
+        assert results and results[0].committed
+        assert hybrid.local_commits == 1
+        assert hybrid.forwarded == forwards_before
+
+    def test_covered_decrement_commits_locally_after_dispersal(self):
+        system, hybrid = build_path_sensitive()
+        consolidate(system, hybrid)
+        hybrid.submit("B", TransactionSpec(ops=(IncrementOp("x", 5),)))
+        system.run_for(10.0)
+        # B's fragment now holds 5; a decrement of 3 is covered.
+        results = []
+        hybrid.submit("B", TransactionSpec(
+            ops=(DecrementOp("x", 3),)), results.append)
+        system.run_for(10.0)
+        assert results and results[0].committed
+        assert hybrid.local_commits == 2
+
+    def test_uncovered_decrement_still_forwards(self):
+        system, hybrid = build_path_sensitive()
+        consolidate(system, hybrid)
+        forwards_before = hybrid.forwarded
+        results = []
+        hybrid.submit("B", TransactionSpec(
+            ops=(DecrementOp("x", 5),)), results.append)
+        system.run_for(20.0)
+        assert results and results[0].committed
+        assert hybrid.forwarded == forwards_before + 1
+        assert hybrid.local_commits == 0
+
+    def test_full_read_always_forwards(self):
+        system, hybrid = build_path_sensitive()
+        consolidate(system, hybrid)
+        results = []
+        hybrid.submit("B", TransactionSpec(
+            ops=(ReadFullOp("x"),)), results.append)
+        system.run_for(20.0)
+        assert results and results[0].committed
+        assert results[0].read_values["x"] == 90
+        assert hybrid.local_commits == 0
+
+    def test_dispersal_disables_home_read_rewrite(self):
+        system, hybrid = build_path_sensitive()
+        consolidate(system, hybrid)
+        hybrid.submit("B", TransactionSpec(ops=(IncrementOp("x", 5),)))
+        system.run_for(10.0)
+        # x leaked value away from home: a full read at the home must
+        # be a real full read (95), not the free fragment read (90).
+        results = []
+        hybrid.submit("A", TransactionSpec(
+            ops=(ReadFullOp("x"),)), results.append)
+        system.run_for(30.0)
+        assert results and results[0].committed
+        assert results[0].read_values["x"] == 95
+
+    def test_default_mode_still_forwards_everything(self):
+        system, hybrid = build()  # path_sensitive defaults to False
+        consolidate(system, hybrid)
+        results = []
+        hybrid.submit("B", TransactionSpec(
+            ops=(IncrementOp("x", 5),)), results.append)
+        system.run_for(20.0)
+        assert results and results[0].committed
+        assert hybrid.forwarded == 1
+        assert hybrid.local_commits == 0
+
+    def test_mixed_traffic_conserves(self):
+        system, hybrid = build_path_sensitive()
+        consolidate(system, hybrid)
+        for site, op in (("B", IncrementOp("x", 4)),
+                         ("C", IncrementOp("x", 2)),
+                         ("B", DecrementOp("x", 1)),
+                         ("A", DecrementOp("x", 6))):
+            hybrid.submit(site, TransactionSpec(ops=(op,)))
+            system.run_for(15.0)
+        system.run_for(60.0)
+        system.auditor.assert_ok()
+        assert system.auditor.expected("x") == 89
+        assert hybrid.local_commits > 0
