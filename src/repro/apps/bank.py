@@ -16,6 +16,7 @@ from repro.core.transactions import (
     DecrementOp,
     IncrementOp,
     ReadFullOp,
+    ReadViewOp,
     TransactionSpec,
     TransferOp,
     TxnResult,
@@ -25,10 +26,16 @@ Done = Callable[[TxnResult], None] | None
 
 
 class Bank:
-    """Accounts whose balances are split across branches."""
+    """Accounts whose balances are split across branches.
 
-    def __init__(self, system: DvPSystem) -> None:
+    *via* redirects submissions through any ``submit(site, spec,
+    on_done)`` target — pass a serving front-end to route app-level
+    traffic (admission control included); default is direct submission.
+    """
+
+    def __init__(self, system: DvPSystem, via=None) -> None:
         self.system = system
+        self._target = via if via is not None else system
         self._accounts: set[str] = set()
 
     @property
@@ -49,37 +56,48 @@ class Bank:
             raise KeyError(f"unknown account {account!r}")
 
     def deposit(self, branch: str, account: str, cents: int,
-                on_done: Done = None) -> None:
+                on_done: Done = None, work: float = 0.0) -> None:
         """Always-safe: commits locally at any branch, any time."""
         self._check(account)
-        self.system.submit(branch, TransactionSpec(
+        self._target.submit(branch, TransactionSpec(
             ops=(IncrementOp(account, cents),),
-            label=f"deposit:{account}"), on_done)
+            label=f"deposit:{account}", work=work), on_done)
 
     def withdraw(self, branch: str, account: str, cents: int,
-                 on_done: Done = None) -> None:
+                 on_done: Done = None, work: float = 0.0) -> None:
         """Irreversible disbursement: needs funds gathered locally."""
         self._check(account)
-        self.system.submit(branch, TransactionSpec(
+        self._target.submit(branch, TransactionSpec(
             ops=(DecrementOp(account, cents),),
-            label=f"withdraw:{account}"), on_done)
+            label=f"withdraw:{account}", work=work), on_done)
 
     def transfer(self, branch: str, payer: str, payee: str, cents: int,
-                 on_done: Done = None) -> None:
+                 on_done: Done = None, work: float = 0.0) -> None:
         """Move money between accounts, atomically, at one branch."""
         self._check(payer)
         self._check(payee)
-        self.system.submit(branch, TransactionSpec(
+        self._target.submit(branch, TransactionSpec(
             ops=(TransferOp(payer, payee, cents),),
-            label=f"transfer:{payer}->{payee}"), on_done)
+            label=f"transfer:{payer}->{payee}", work=work), on_done)
 
     def audit_balance(self, branch: str, account: str,
-                      on_done: Done = None) -> None:
+                      on_done: Done = None, work: float = 0.0) -> None:
         """Exact balance: drains every branch's share to *branch*."""
         self._check(account)
-        self.system.submit(branch, TransactionSpec(
-            ops=(ReadFullOp(account),), label=f"audit:{account}"),
-            on_done)
+        self._target.submit(branch, TransactionSpec(
+            ops=(ReadFullOp(account),), label=f"audit:{account}",
+            work=work), on_done)
+
+    def estimate_balance(self, branch: str, account: str,
+                         bound: float | None = None,
+                         on_done: Done = None, work: float = 0.0) -> None:
+        """Bounded-staleness balance (a statement, not a disbursement):
+        O(1) when the branch's Π(b) view cache certifies *bound*, exact
+        fan-out otherwise — see docs/READS.md."""
+        self._check(account)
+        self._target.submit(branch, TransactionSpec(
+            ops=(ReadViewOp(account, bound=bound),),
+            label=f"estimate:{account}", work=work), on_done)
 
     def branch_share(self, branch: str, account: str) -> Any:
         """The locally held portion of the balance (free to read)."""

@@ -45,10 +45,12 @@ class BoundedQuantity:
     """
 
     def __init__(self, system: DvPSystem, name: str, capacity: int,
-                 used_split: dict[str, int] | None = None) -> None:
+                 used_split: dict[str, int] | None = None,
+                 via=None) -> None:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.system = system
+        self._target = via if via is not None else system
         self.name = name
         self.capacity = capacity
         self.used_item = f"{name}.used"
@@ -69,20 +71,20 @@ class BoundedQuantity:
                 work: float = 0.0) -> None:
         """Claim *amount* of capacity at *site*; aborts if the free pool
         (reachable from here) cannot cover it."""
-        self.system.submit(site, TransactionSpec(
+        self._target.submit(site, TransactionSpec(
             ops=(TransferOp(self.free_item, self.used_item, amount),),
             label=f"acquire:{self.name}", work=work), on_done)
 
     def release(self, site: str, amount: int, on_done: Done = None) -> None:
         """Return *amount*; aborts if this site cannot gather that much
         *used* (you cannot release what was never acquired)."""
-        self.system.submit(site, TransactionSpec(
+        self._target.submit(site, TransactionSpec(
             ops=(TransferOp(self.used_item, self.free_item, amount),),
             label=f"release:{self.name}"), on_done)
 
     def utilization(self, site: str, on_done: Done = None) -> None:
         """Exact global usage: a full read of the *used* item."""
-        self.system.submit(site, TransactionSpec(
+        self._target.submit(site, TransactionSpec(
             ops=(ReadFullOp(self.used_item),),
             label=f"utilization:{self.name}"), on_done)
 

@@ -15,6 +15,7 @@ from repro.core.transactions import (
     DecrementOp,
     IncrementOp,
     ReadFullOp,
+    ReadViewOp,
     TransactionSpec,
     TxnResult,
 )
@@ -23,10 +24,16 @@ Done = Callable[[TxnResult], None] | None
 
 
 class InventoryControl:
-    """SKU stock levels partitioned across warehouses."""
+    """SKU stock levels partitioned across warehouses.
 
-    def __init__(self, system: DvPSystem) -> None:
+    *via* redirects submissions through any ``submit(site, spec,
+    on_done)`` target (e.g. a serving front-end); default is direct
+    submission to the system.
+    """
+
+    def __init__(self, system: DvPSystem, via=None) -> None:
         self.system = system
+        self._target = via if via is not None else system
         self._skus: set[str] = set()
 
     @property
@@ -47,25 +54,36 @@ class InventoryControl:
             raise KeyError(f"unknown sku {sku!r}")
 
     def sell(self, warehouse: str, sku: str, units: int,
-             on_done: Done = None) -> None:
+             on_done: Done = None, work: float = 0.0) -> None:
         self._check(sku)
-        self.system.submit(warehouse, TransactionSpec(
-            ops=(DecrementOp(sku, units),), label=f"sell:{sku}"),
-            on_done)
+        self._target.submit(warehouse, TransactionSpec(
+            ops=(DecrementOp(sku, units),), label=f"sell:{sku}",
+            work=work), on_done)
 
     def restock(self, warehouse: str, sku: str, units: int,
-                on_done: Done = None) -> None:
+                on_done: Done = None, work: float = 0.0) -> None:
         self._check(sku)
-        self.system.submit(warehouse, TransactionSpec(
-            ops=(IncrementOp(sku, units),), label=f"restock:{sku}"),
-            on_done)
+        self._target.submit(warehouse, TransactionSpec(
+            ops=(IncrementOp(sku, units),), label=f"restock:{sku}",
+            work=work), on_done)
 
     def stock_check(self, warehouse: str, sku: str,
-                    on_done: Done = None) -> None:
+                    on_done: Done = None, work: float = 0.0) -> None:
         """Exact global quantity on hand (the expensive read)."""
         self._check(sku)
-        self.system.submit(warehouse, TransactionSpec(
-            ops=(ReadFullOp(sku),), label=f"stock-check:{sku}"), on_done)
+        self._target.submit(warehouse, TransactionSpec(
+            ops=(ReadFullOp(sku),), label=f"stock-check:{sku}",
+            work=work), on_done)
+
+    def stock_estimate(self, warehouse: str, sku: str,
+                       bound: float | None = None,
+                       on_done: Done = None, work: float = 0.0) -> None:
+        """Bounded-staleness quantity on hand — O(1) when the
+        warehouse's Π(b) view cache certifies *bound* (docs/READS.md)."""
+        self._check(sku)
+        self._target.submit(warehouse, TransactionSpec(
+            ops=(ReadViewOp(sku, bound=bound),),
+            label=f"stock-estimate:{sku}", work=work), on_done)
 
     def on_hand_locally(self, warehouse: str, sku: str) -> Any:
         self._check(sku)

@@ -15,7 +15,9 @@ See docs/CHAOS.md.
 from repro.chaos.artifact import (
     TRACE_TAIL_EVENTS,
     ReproArtifact,
+    arm_injection,
     default_name,
+    disarm_injection,
 )
 from repro.chaos.explore import (
     JOINER_POOL,
@@ -32,6 +34,7 @@ from repro.chaos.oracles import (
     AuditorOracle,
     ProgressOracle,
     SerialOracle,
+    ViewOracle,
     default_oracles,
 )
 from repro.chaos.plan import (
@@ -58,7 +61,8 @@ __all__ = [
     "JOINER_POOL", "LinkFaultWindow", "PartitionNet", "PlanError",
     "ProgressOracle", "RecoverSite", "RemoveSite", "ReproArtifact",
     "Reshard", "SerialOracle", "ShrinkResult", "SkewTick",
-    "TRACE_TAIL_EVENTS", "default_name", "default_oracles", "explore",
+    "TRACE_TAIL_EVENTS", "ViewOracle", "arm_injection", "default_name",
+    "default_oracles", "disarm_injection", "explore",
     "reshard_grammar", "run_chaos", "run_seed_for", "sample_plan",
     "shrink",
 ]

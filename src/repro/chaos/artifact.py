@@ -20,8 +20,27 @@ from typing import Any
 from repro.chaos.plan import FaultPlan, PlanError
 from repro.chaos.runner import ChaosConfig, ChaosResult, run_chaos
 from repro.core import fragments
+from repro.reads import views as read_views
 
 FORMAT = "dvp-chaos-repro/1"
+
+
+def arm_injection(mode: "str | None") -> tuple:
+    """Arm a named test-only injection, routing it to its owning module
+    (fragment leaks live in ``repro.core.fragments``, view-staleness
+    lies in ``repro.reads.views``). Returns the previous armed state;
+    pass it to :func:`disarm_injection` to restore."""
+    previous = (fragments.test_leak(), read_views.view_leak())
+    if mode is not None and mode in read_views.VIEW_LEAK_MODES:
+        read_views.set_view_leak(mode)
+    else:
+        fragments.set_test_leak(mode)
+    return previous
+
+
+def disarm_injection(previous: tuple) -> None:
+    fragments.set_test_leak(previous[0])
+    read_views.set_view_leak(previous[1])
 
 #: How many trailing trace events a minimized repro embeds. Small on
 #: purpose: the tail is the "what was happening right before the
@@ -93,14 +112,13 @@ class ReproArtifact:
         (:data:`TRACE_TAIL_EVENTS` by default), the replayed
         ``result.trace_tail`` is byte-identical to ``self.trace_tail``.
         """
-        previous = fragments.test_leak()
-        fragments.set_test_leak(self.injection)
+        previous = arm_injection(self.injection)
         try:
             return run_chaos(self.config, self.plan, self.seed,
                              oracles=oracles, trace_limit=trace_limit,
                              trace_kernel=trace_kernel)
         finally:
-            fragments.set_test_leak(previous)
+            disarm_injection(previous)
 
 
 def default_name(artifact: ReproArtifact) -> str:
@@ -111,5 +129,5 @@ def default_name(artifact: ReproArtifact) -> str:
             f"_{len(artifact.plan)}act.json")
 
 
-__all__ = ["ReproArtifact", "default_name", "FORMAT",
-           "TRACE_TAIL_EVENTS"]
+__all__ = ["ReproArtifact", "default_name", "arm_injection",
+           "disarm_injection", "FORMAT", "TRACE_TAIL_EVENTS"]

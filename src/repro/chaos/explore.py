@@ -193,11 +193,14 @@ class ExploreReport:
                    f" serving={self.config.serving}"
                    f":{self.config.serving_max_inflight}"
                    f"/{self.config.serving_max_depth}")
+        views = ("" if self.config.views is None else
+                 f" views={self.config.views:g}"
+                 f"@{self.config.view_refresh:g}")
         lines = [f"chaos explore: budget={self.budget} "
                  f"seed={self.master_seed} sites={self.config.sites} "
                  f"items={self.config.items} txns={self.config.txns} "
                  f"duration={self.config.duration:g}"
-                 f"{rebalance}{bundling}{partition}{serving}",
+                 f"{rebalance}{bundling}{partition}{serving}{views}",
                  f"plans run: {self.runs}  failing: {len(self.failures)}"]
         for case in self.failures:
             lines.append(f"  plan #{case.index} (run seed {case.seed}) "

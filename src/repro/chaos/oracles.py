@@ -27,7 +27,7 @@ returns a list of human-readable failure messages (empty = pass).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.core.invariants import IncrementalDivergence
 from repro.harness.serial import check_serializable
@@ -107,9 +107,11 @@ class SerialOracle:
         # Full reads: banded against the reference timeline (N_M term).
         # Local reads (label "chaos:local-read") return only the site's
         # own quota — a lawful lower bound, not a full-value claim —
-        # and are excluded from the band.
+        # and are excluded from the band. View reads claim a *stale*
+        # exact value; the view oracle judges their certificates.
         full_reads = [txn for txn in system.results
-                      if txn.label != "chaos:local-read"]
+                      if txn.label not in ("chaos:local-read",
+                                           "chaos:view-read")]
         report = check_serializable(full_reads, result.initial_totals,
                                     domains)
         for txn_id, item, observed, replayed in report.read_mismatches:
@@ -162,9 +164,76 @@ class ProgressOracle:
         return failures
 
 
+class ViewOracle:
+    """Staleness certificates never lie (docs/READS.md).
+
+    Every certificate a *committed* bounded-staleness read served must
+    (a) respect the reader's bound — ``checked_at - as_of <= bound`` —
+    and (b) carry the exact conservation total ``N(as_of)``: the
+    initial quota plus every committed semantic delta whose commit
+    instant is ``<= as_of``. Views publish at a consistent global cut,
+    so no interleaving can excuse a wrong snapshot — a fault may only
+    ever make a view *staler* (forcing fallback), never wrong.
+
+    Commits at exactly ``as_of`` race the barrier on the single-queue
+    kernel (insertion order breaks the tie), so any prefix of the tie
+    group, folded in ``(finished_at, txn_id)`` order, is accepted.
+    """
+
+    name = "view"
+
+    def check(self, result: "ChaosResult") -> list[str]:
+        failures: list[str] = []
+        system = result.system
+        certified = [(txn, item, cert)
+                     for txn in sorted(system.committed(),
+                                       key=lambda r: (r.finished_at,
+                                                      r.txn_id))
+                     for item, cert in sorted(txn.view_reads.items())]
+        if not certified:
+            return failures
+        domains = {item: system.sites[next(iter(system.sites))]
+                   .fragments.domain(item)
+                   for item in result.initial_totals}
+        deltas: dict[str, list[tuple[float, str, int, Any]]] = {
+            item: [] for item in result.initial_totals}
+        for txn in sorted(system.committed(),
+                          key=lambda r: (r.finished_at, r.txn_id)):
+            for item, sign, amount in txn.semantic_deltas:
+                deltas[item].append((txn.finished_at, txn.txn_id,
+                                     sign, amount))
+        for txn, item, cert in certified:
+            if cert.bound is not None and \
+                    cert.staleness > cert.bound + EPSILON:
+                failures.append(
+                    f"{txn.txn_id}[{item}] certificate staleness "
+                    f"{cert.staleness:g} exceeds the reader's bound "
+                    f"{cert.bound:g}")
+            domain = domains[item]
+            value = result.initial_totals[item]
+            acceptable = set()
+            for at, _txn_id, sign, amount in deltas[item]:
+                if at > cert.as_of + EPSILON:
+                    break
+                if at >= cert.as_of - EPSILON:
+                    # The barrier may have run before this tied commit.
+                    acceptable.add(value)
+                value = (domain.combine(value, amount) if sign > 0
+                         else domain.subtract(value, amount))
+            acceptable.add(value)
+            if cert.value not in acceptable:
+                failures.append(
+                    f"{txn.txn_id}[{item}] certificate claims "
+                    f"N({cert.as_of:g})={cert.value} but the reference "
+                    f"replay gives {sorted(acceptable, key=repr)} — "
+                    f"the view lied")
+        return failures
+
+
 def default_oracles() -> list[Oracle]:
-    return [AuditorOracle(), SerialOracle(), ProgressOracle()]
+    return [AuditorOracle(), SerialOracle(), ProgressOracle(),
+            ViewOracle()]
 
 
 __all__ = ["Oracle", "AuditorOracle", "SerialOracle", "ProgressOracle",
-           "default_oracles", "EPSILON"]
+           "ViewOracle", "default_oracles", "EPSILON"]

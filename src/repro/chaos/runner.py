@@ -30,6 +30,7 @@ from repro.core.transactions import (
     IncrementOp,
     ReadFullOp,
     ReadLocalOp,
+    ReadViewOp,
     TransactionSpec,
     TransferOp,
 )
@@ -97,6 +98,16 @@ class ChaosConfig:
     serving_max_depth: int = 8
     serving_max_inflight: int = 2
     serving_board_period: float = 4.0
+    #: Per-reader staleness bound for bounded-staleness view reads
+    #: (None: views off, the seed read path). When set, the system runs
+    #: the Π(b) view service (docs/READS.md) and a slice of the read
+    #: workload becomes ``ReadViewOp(bound=views)`` — re-interpreting
+    #: an existing roll range, never drawing extra randomness, so
+    #: views-off digests stay byte-identical. Old recorded artifacts
+    #: carry no key and load as None, replaying byte-for-byte.
+    views: float | None = None
+    #: View refresh (write-behind publish) period in virtual time.
+    view_refresh: float = 4.0
 
     def site_names(self) -> list[str]:
         return [f"S{index}" for index in range(self.sites)]
@@ -181,14 +192,23 @@ def _build_workload(system: DvPSystem, config: ChaosConfig,
             other = rng.choice([name for name in items if name != item])
             op = TransferOp(item, other, rng.randint(1, 5))
         elif roll < 0.92:
-            op = ReadFullOp(item)
+            # With views on, the upper half of the read range becomes a
+            # bounded-staleness view read. The roll was already drawn,
+            # so views-off runs consume the same stream and keep their
+            # exploration digests byte-identical.
+            if config.views is not None and roll >= 0.87:
+                op = ReadViewOp(item, bound=config.views)
+            else:
+                op = ReadFullOp(item)
         else:
             op = ReadLocalOp(item)
         when = rng.uniform(0.5, config.duration)
         # Local reads return only the site's own quota — a lower bound
         # with no serial-value claim — so the serial oracle must be
-        # able to tell them apart from full reads.
+        # able to tell them apart from full reads. View reads claim a
+        # *bounded-stale* value, judged by the view oracle instead.
         label = ("chaos:local-read" if isinstance(op, ReadLocalOp)
+                 else "chaos:view-read" if isinstance(op, ReadViewOp)
                  else "chaos")
 
         def arrive(site=site, op=op, label=label) -> None:
@@ -249,6 +269,10 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
     if config.bundle_flush_delay is not None:
         from repro.net.outbox import BundlingConfig
         bundling = BundlingConfig(flush_delay=config.bundle_flush_delay)
+    views = None
+    if config.views is not None:
+        from repro.reads import ViewConfig
+        views = ViewConfig(refresh_period=config.view_refresh)
     system = DvPSystem(SystemConfig(
         sites=config.site_names(), seed=seed,
         txn_timeout=config.txn_timeout,
@@ -258,7 +282,8 @@ def run_chaos(config: ChaosConfig, plan: FaultPlan, seed: int,
                         jitter=config.base_jitter),
         bundling=bundling,
         shards=config.shards, shard_workers=config.shard_workers,
-        partitioner=config.partitioner, replicas=config.replicas))
+        partitioner=config.partitioner, replicas=config.replicas,
+        views=views))
     result = ChaosResult(config=config, plan=plan, seed=seed, system=system)
     per_site = _quota_split(config, seed)
     for item in config.item_names():

@@ -141,9 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="replay a frozen repro artifact "
                                    "instead of exploring")
     chaos_parser.add_argument("--inject", default=None,
-                              choices=["write", "crash"],
-                              help="arm a test-only conservation leak "
-                                   "(oracle self-test)")
+                              choices=["write", "crash",
+                                       "view-staleness"],
+                              help="arm a test-only injection (oracle "
+                                   "self-test): a conservation leak, or "
+                                   "a view service that republishes "
+                                   "stale snapshots as fresh")
     chaos_parser.add_argument("--repro-dir", default="tests/repros",
                               help="where --shrink writes artifacts "
                                    "(default tests/repros)")
@@ -174,7 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "partitioner (default: every site)")
     chaos_parser.add_argument(
         "--serving", default=None,
-        choices=["random", "least-queue", "locality"],
+        choices=["random", "least-queue", "locality", "view-aware"],
         help="route chaos arrivals through the serving front-end "
              "(router + bounded queues + admission control) instead "
              "of direct site submission (default: off)")
@@ -184,6 +187,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument(
         "--serving-inflight", type=int, default=2,
         help="serving service slots per site (default: 2)")
+    chaos_parser.add_argument(
+        "--views", type=float, default=None, metavar="BOUND",
+        help="run the bounded-staleness view service and give a slice "
+             "of the read workload ReadViewOp(bound=BOUND) (see "
+             "docs/READS.md; default: views off, the seed read path)")
+    chaos_parser.add_argument(
+        "--view-refresh", type=float, default=4.0, metavar="T",
+        help="view refresh (write-behind publish) period in virtual "
+             "time (default: 4.0)")
     chaos_parser.add_argument("--reshard", action="store_true",
                               help="sample elastic-topology motifs too "
                                    "(site joins, decommissions, replica "

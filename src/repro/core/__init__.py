@@ -38,6 +38,7 @@ from repro.core.transactions import (
     Outcome,
     ReadFullOp,
     ReadLocalOp,
+    ReadViewOp,
     TransactionSpec,
     TransferOp,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "PartitionableOperator",
     "ReadFullOp",
     "ReadLocalOp",
+    "ReadViewOp",
     "SetToZero",
     "SystemConfig",
     "TokenSetDomain",

@@ -36,6 +36,7 @@ from repro.core.transactions import (
 from repro.core.vm import VmManager
 from repro.net.message import Envelope
 from repro.net.network import Network
+from repro.reads.messages import ViewRefresh
 from repro.obs.events import LogForce, SiteCrash
 from repro.sim.kernel import Simulator
 from repro.storage.checkpoint import CheckpointPolicy
@@ -122,6 +123,10 @@ class DvPSite:
         #: True once the directory dropped this site (System.remove_site).
         #: The site stays alive and registered until its value drains.
         self.decommissioned = False
+        #: Bounded-staleness view cache (repro.reads; docs/READS.md).
+        #: Wired by the system's ViewService when views are enabled;
+        #: None = the classic fan-out-only read path.
+        self.views = None
         self.locks = LockTable()
         self.clock = LamportClock(rank)
         #: Decayed demand/wealth ledger feeding the rebalance planner
@@ -322,6 +327,11 @@ class DvPSite:
             self._recheck_active()
         elif isinstance(payload, TsAdvisory):
             self.clock.observe(payload.ts)
+        elif isinstance(payload, ViewRefresh):
+            # No Lamport coupling: refreshes carry barrier snapshots,
+            # not protocol state — a viewless site just drops them.
+            if self.views is not None:
+                self.views.absorb(payload)
 
     def send_request(self, dst: str, request: DataRequest) -> None:
         """Fire-and-forget: requests carry no delivery guarantee."""
@@ -492,6 +502,9 @@ class DvPSite:
         self.fragments.reset_timestamps()
         self.clock.reset()
         self.demand.reset()
+        if self.views is not None:
+            # The cache is volatile: recover cold, warm from refreshes.
+            self.views.clear()
         self.network.note_down(self.name)
 
     def recover(self) -> "RecoveryReport":

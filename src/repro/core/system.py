@@ -40,6 +40,7 @@ from repro.net.network import Network
 from repro.obs.events import DirectoryEpoch, SiteDecommission, SiteJoin
 from repro.net.outbox import BundlingConfig
 from repro.net.sync import SynchronousNetwork
+from repro.reads.views import ViewConfig, ViewService
 from repro.sim.kernel import Simulator
 from repro.sim.shard import ShardPlan, ShardedSimulator
 
@@ -86,6 +87,11 @@ class SystemConfig:
     #: Owner-set size per item (None = all directory sites). Ignored by
     #: the "all" partitioner.
     replicas: int | None = None
+    #: Bounded-staleness Π(b) read views (repro.reads; docs/READS.md).
+    #: None = off, the classic fan-out-only read path — byte-for-byte
+    #: the seed behaviour (old recorded artifacts carry no key and load
+    #: with views off, replaying byte-for-byte).
+    views: ViewConfig | None = None
 
     def __post_init__(self) -> None:
         if len(set(self.sites)) != len(self.sites):
@@ -178,6 +184,12 @@ class DvPSystem:
         self.auditor = ConservationAuditor(self)
         for site in self.sites.values():
             site.router = self.router
+        #: Bounded-staleness view service (docs/READS.md). Attaches
+        #: after the auditor: its adopt_site() replaces each site's
+        #: observer slot with a fanout keeping the auditor first.
+        self.views: ViewService | None = None
+        if self.config.views is not None:
+            self.views = ViewService(self, self.config.views)
 
     # -- item registration --------------------------------------------------
 
@@ -280,6 +292,8 @@ class DvPSystem:
         site.observer = self.auditor
         site.fragments.observer = self.auditor
         site.router = self.router
+        if self.views is not None:
+            self.views.adopt_site(site)
         for item, domain in self._items.items():
             self.sim.call_in_site(
                 name, lambda item=item, domain=domain:
@@ -358,6 +372,12 @@ class DvPSystem:
             for item in result.read_values:
                 result.inflight_at_commit[item] = \
                     self.auditor.live_vm_total(item)
+        if self.views is not None and result.committed \
+                and result.view_fallbacks:
+            # Read-through: a view miss paid the fan-out; repair the
+            # reader's cache from the authority tier so the next
+            # bounded-staleness read of these items is O(1).
+            self.views.fill_through(result.site, result.view_fallbacks)
         self.results.append(result)
         self.auditor.on_result(result)
         for hook in self._result_hooks:
@@ -381,7 +401,13 @@ class DvPSystem:
 
     def drain(self, max_steps: int = 1_000_000) -> None:
         """Run until no events remain (retransmit timers stop when all
-        Vm are acknowledged, so quiescent systems do drain)."""
+        Vm are acknowledged, so quiescent systems do drain).
+
+        Draining is terminal, so the view refresh chain — which would
+        otherwise tick forever — is stopped first.
+        """
+        if self.views is not None:
+            self.views.stop()
         self.sim.run(max_steps=max_steps)
 
     # -- failure injection ----------------------------------------------------

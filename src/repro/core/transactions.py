@@ -116,8 +116,26 @@ class ReadLocalOp:
     item: str
 
 
+@dataclass(frozen=True)
+class ReadViewOp:
+    """Read the item's value from a materialized Π(b) view, accepting
+    up to *bound* of staleness (docs/READS.md).
+
+    O(1) messages when the site's view cache holds an entry whose
+    staleness certificate satisfies the bound; otherwise the read
+    escalates to the classic :class:`ReadFullOp` fan-out (and the
+    fallback's result warms the cache read-through). ``bound=None``
+    accepts any entry within the cache TTL. With views disabled
+    system-wide, every view read is a fan-out — the op shape is always
+    safe to submit.
+    """
+
+    item: str
+    bound: float | None = None
+
+
 Op = (IncrementOp | DecrementOp | TransferOp | ApplyOp | ReadFullOp
-      | ReadLocalOp)
+      | ReadLocalOp | ReadViewOp)
 
 
 @dataclass(frozen=True)
@@ -138,15 +156,38 @@ class TransactionSpec:
         overlap = self.read_items() & self.update_items()
         if overlap:
             raise ValueError(
-                f"items {sorted(overlap)} are both read-full and updated; "
-                "split into two transactions")
+                f"items {sorted(overlap)} are both read (full or view) "
+                "and updated; split into two transactions")
 
     def items(self) -> set[str]:
         """A(t): every item the transaction accesses."""
         return self.read_items() | self.update_items()
 
     def read_items(self) -> set[str]:
+        return self.full_read_items() | set(self.view_bounds())
+
+    def full_read_items(self) -> set[str]:
+        """Items read exactly (the fan-out protocol, no views)."""
         return {op.item for op in self.ops if isinstance(op, ReadFullOp)}
+
+    def view_bounds(self) -> dict[str, float | None]:
+        """Item → tightest staleness bound among its ReadViewOps.
+
+        Items also read with :class:`ReadFullOp` are excluded — the
+        exact read dominates and serves both ops' values.
+        """
+        full = self.full_read_items()
+        bounds: dict[str, float | None] = {}
+        for op in self.ops:
+            if not isinstance(op, ReadViewOp) or op.item in full:
+                continue
+            prior = bounds.get(op.item)
+            if op.item not in bounds:
+                bounds[op.item] = op.bound
+            elif op.bound is not None and (prior is None
+                                           or op.bound < prior):
+                bounds[op.item] = op.bound
+        return bounds
 
     def update_items(self) -> set[str]:
         found: set[str] = set()
@@ -203,6 +244,15 @@ class TxnResult:
     #: returns Π(everything) minus what was still in transmission
     #: (Section 3's N_M term) — see harness.serial for the check.
     inflight_at_commit: dict[str, Any] = field(default_factory=dict)
+    #: Item → ViewCertificate for every view-served read (docs/READS.md).
+    #: The chaos ViewOracle replays the committed timeline against each
+    #: certificate: its value must be the item's exact logical value at
+    #: ``as_of`` and its accepted staleness must respect its bound.
+    view_reads: dict[str, Any] = field(default_factory=dict)
+    #: View items whose certificate could not be produced — served by
+    #: the classic fan-out instead (the read-through tier repairs the
+    #: cache from these, see DvPSystem._record_result).
+    view_fallbacks: tuple[str, ...] = ()
 
     @property
     def committed(self) -> bool:
@@ -235,7 +285,13 @@ class Transaction:
         self._timer = Timer(site.sim, self._on_timeout,
                             label=f"txn-timeout:{self.id}")
         self._read_responders: dict[str, set[str]] = {
-            item: set() for item in spec.read_items()}
+            item: set() for item in spec.full_read_items()}
+        #: View items still on the O(1) path (item → staleness bound).
+        #: Escalation moves an item from here into _read_responders.
+        self._view_pending: dict[str, float | None] = dict(
+            spec.view_bounds())
+        self._view_certs: dict[str, Any] = {}
+        self._view_fallbacks: list[str] = []
         self._needs = spec.needs(site.fragments.domain)
         self.result: TxnResult | None = None
         # Section 5's variation: "the requests could be re-tried a few
@@ -251,6 +307,8 @@ class Transaction:
         if obs.enabled:
             obs.emit(TxnSubmit(t=self.site.sim.now, site=self.site.name,
                                txn=self.id, label=self.spec.label))
+        if self._try_view_fast_path():
+            return
         self._timer.start(self._round_length)
         if self.site.cc.broadcast_at_init:
             # Conc2: all requests broadcast together at initiation.
@@ -275,6 +333,43 @@ class Transaction:
         self.site.cc.on_lock_granted(self.site, self.ts, items)
         self._locks_granted()
 
+    def _try_view_fast_path(self) -> bool:
+        """Certificate-first admission for pure-view transactions.
+
+        A spec that only view-reads, whose every item certifies from
+        the cache *right now*, commits immediately: no locks, no timer,
+        no messages. The certificate IS the read — the local fragment
+        contributes nothing to a view-served value, so taking its lock
+        would only couple the O(1) path to unrelated contention (a
+        concurrent fallback's read-freeze on a hot item would poison
+        every cached read of it for the whole freeze window).
+
+        Partial certification keeps the certificates it minted (the
+        classic path revalidates them at commit) and falls through to
+        the ordinary lock-first protocol for the missed items.
+        """
+        if self.spec.work > 0:
+            # Computation holds the locks by definition (step 4);
+            # that path cannot skip acquisition.
+            return False
+        if not self._view_pending or self._needs or self._read_responders \
+                or self.spec.update_items():
+            return False
+        cache = self.site.views
+        if cache is None:
+            return False
+        for item in sorted(self._view_pending):
+            cert = cache.serve(item, self._view_pending[item], txn=self.id)
+            if cert is None:
+                # Keep what certified: _resolve_views only retries the
+                # still-pending items, so no hit is counted twice.
+                return False
+            self._view_certs[item] = cert
+            del self._view_pending[item]
+        self.state = _State.GATHERING
+        self._commit()
+        return True
+
     def _locks_granted(self) -> None:
         if self.state is _State.FINISHED:
             # Timed out while waiting in the lock queue; locks were
@@ -289,6 +384,10 @@ class Transaction:
             self.site._obs.emit(TxnLocksGranted(
                 t=self.site.sim.now, site=self.site.name, txn=self.id))
         self.state = _State.GATHERING
+        # Views first: an escalated view item joins the fan-out set so
+        # the request wave below (or an explicit fan for Conc2, whose
+        # wave already left at initiation) covers it.
+        self._resolve_views(fan=self.site.cc.broadcast_at_init)
         if not self.site.cc.broadcast_at_init:
             self._send_requests(estimate_without_locks=False)
         self._try_commit()
@@ -306,7 +405,7 @@ class Transaction:
         """Step 2: request value for every inadequate item."""
         sent_before = self.requests_sent
         peers = self.site.peers()
-        for item in sorted(self.spec.read_items()):
+        for item in sorted(self._read_responders):
             for peer in peers:
                 self.site.send_request(peer, DataRequest(
                     txn_id=self.id, origin=self.site.name, item=item,
@@ -356,6 +455,71 @@ class Transaction:
         if self.state is _State.GATHERING:
             self._try_commit()
 
+    # -- bounded-staleness view reads (docs/READS.md) ------------------------
+
+    def _resolve_views(self, fan: bool) -> None:
+        """Try to certify each view item from the site's cache.
+
+        A miss escalates the item to the classic fan-out; *fan* sends
+        its READ requests immediately (used when the normal request
+        wave has already departed).
+        """
+        cache = self.site.views
+        for item in sorted(self._view_pending):
+            bound = self._view_pending[item]
+            cert = (cache.serve(item, bound, txn=self.id)
+                    if cache is not None else None)
+            if cert is not None:
+                self._view_certs[item] = cert
+            else:
+                self._escalate_view(item, fan=fan)
+
+    def _escalate_view(self, item: str, fan: bool) -> None:
+        self._view_pending.pop(item, None)
+        self._view_certs.pop(item, None)
+        if item in self._read_responders:
+            return
+        self._read_responders[item] = set()
+        self._view_fallbacks.append(item)
+        if fan:
+            self._fan_read(item)
+
+    def _fan_read(self, item: str) -> None:
+        """Fan READ requests for one late-escalated item."""
+        sent_before = self.requests_sent
+        for peer in self.site.peers():
+            self.site.send_request(peer, DataRequest(
+                txn_id=self.id, origin=self.site.name, item=item,
+                mode=READ_MODE, need=None, ts=self.ts))
+            self.requests_sent += 1
+        if self.site._obs.enabled and self.requests_sent > sent_before:
+            self.site._obs.emit(TxnRedistribute(
+                t=self.site.sim.now, site=self.site.name, txn=self.id,
+                requests=self.requests_sent - sent_before))
+
+    def _revalidate_views(self) -> None:
+        """Certificates admit at the commit attempt, not the first
+        serve: time spent gathering other items ages them, and a
+        reshard invalidates their epoch. A failed re-check retries the
+        cache once (a fresher refresh may have landed), then escalates."""
+        if not self._view_certs:
+            return
+        now = self.site.sim.now
+        epoch = self.site.current_epoch()
+        cache = self.site.views
+        for item in sorted(self._view_certs):
+            cert = self._view_certs[item]
+            aged = cert.bound is not None and now - cert.as_of > cert.bound
+            if not aged and cert.epoch == epoch:
+                continue
+            bound = self._view_pending.get(item)
+            fresh = (cache.serve(item, bound, txn=self.id)
+                     if cache is not None else None)
+            if fresh is not None:
+                self._view_certs[item] = fresh
+            else:
+                self._escalate_view(item, fan=True)
+
     def _sufficient(self) -> bool:
         for item, need in self._needs.items():
             domain = self.site.fragments.domain(item)
@@ -374,7 +538,10 @@ class Transaction:
     # -- commit phase -----------------------------------------------------------
 
     def _try_commit(self) -> None:
-        if self.state is not _State.GATHERING or not self._sufficient():
+        if self.state is not _State.GATHERING:
+            return
+        self._revalidate_views()
+        if not self._sufficient():
             return
         if self.spec.work > 0:
             # Redistribution is complete; computation cannot time out
@@ -435,6 +602,14 @@ class Transaction:
                     deltas.append((op.item, sign, magnitude))
                 except NotImplementedError:
                     pass
+            elif isinstance(op, ReadViewOp):
+                cert = self._view_certs.get(op.item)
+                if cert is not None:
+                    read_values[op.item] = cert.value
+                else:
+                    # Escalated (or shadowed by a ReadFullOp): the
+                    # drained fragment holds the exact value.
+                    read_values[op.item] = current(op.item)
             elif isinstance(op, (ReadFullOp, ReadLocalOp)):
                 read_values[op.item] = current(op.item)
 
@@ -507,7 +682,10 @@ class Transaction:
             reason=reason, site=self.site.name,
             submitted_at=self.submitted_at, finished_at=self.site.sim.now,
             read_values=read_values, semantic_deltas=deltas,
-            requests_sent=self.requests_sent)
+            requests_sent=self.requests_sent,
+            view_reads=(dict(self._view_certs)
+                        if outcome is Outcome.COMMITTED else {}),
+            view_fallbacks=tuple(self._view_fallbacks))
         self.site.h_decision[outcome].observe(self.result.latency)
         if self.site._obs.enabled:
             if outcome is Outcome.COMMITTED:

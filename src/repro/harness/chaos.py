@@ -15,9 +15,12 @@ Two modes:
   Exit status follows the *current* verdict: 0 when the run is clean
   (the bug is fixed), 1 when oracles still fail.
 
-``--inject {write,crash}`` arms the test-only conservation leak in
-:mod:`repro.core.fragments` for the duration of the command — the
-self-test proving the oracles catch real conservation bugs.
+``--inject {write,crash,view-staleness}`` arms a test-only injection
+for the duration of the command — the self-test proving the oracles
+catch real bugs. ``write``/``crash`` leak conservation in
+:mod:`repro.core.fragments`; ``view-staleness`` makes the Π(b) view
+service republish stale snapshots as fresh
+(:mod:`repro.reads.views`), which the view oracle must convict.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from repro.chaos import (
     reshard_grammar,
     shrink,
 )
-from repro.core import fragments
+from repro.chaos.artifact import arm_injection, disarm_injection
 
 #: Shrinking is ~100 runs per failure; bound the work per invocation.
 MAX_SHRINKS = 5
@@ -54,15 +57,16 @@ def config_from_args(args) -> ChaosConfig:
                        serving=getattr(args, "serving", None),
                        serving_max_depth=getattr(args, "serving_depth", 8),
                        serving_max_inflight=getattr(
-                           args, "serving_inflight", 2))
+                           args, "serving_inflight", 2),
+                       views=getattr(args, "views", None),
+                       view_refresh=getattr(args, "view_refresh", 4.0))
 
 
 def explore_main(args, out: "TextIO | None" = None) -> int:
     """Explore (and optionally shrink); return a process exit code."""
     out = out if out is not None else sys.stdout
     config = config_from_args(args)
-    previous = fragments.test_leak()
-    fragments.set_test_leak(args.inject)
+    previous = arm_injection(args.inject)
     try:
         grammar = (reshard_grammar() if getattr(args, "reshard", False)
                    else None)
@@ -105,7 +109,7 @@ def explore_main(args, out: "TextIO | None" = None) -> int:
                   f"raise MAX_SHRINKS or shrink by hand)", file=out)
         return 1
     finally:
-        fragments.set_test_leak(previous)
+        disarm_injection(previous)
 
 
 def replay_main(args, out: "TextIO | None" = None) -> int:

@@ -24,6 +24,7 @@ _MODULES = {
     "E13": "e13_reshard",
     "E14": "e14_serving",
     "E15": "e15_commit",
+    "E16": "e16_reads",
 }
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.apps.airline import ReservationSystem
 from repro.core.domain import CounterDomain
 from repro.core.system import DvPSystem, SystemConfig
 from repro.harness.parallel import evaluate_cells
@@ -37,8 +38,8 @@ from repro.metrics.stats import percentile_sorted
 from repro.metrics.tables import Table
 from repro.net.link import LinkConfig
 from repro.serving import ServingConfig, ServingFrontend
-from repro.workloads.airline import AirlineWorkload
-from repro.workloads.base import OpMix, WorkloadConfig, WorkloadDriver
+from repro.workloads.apps import AirlineAppTraffic, AppWorkloadDriver
+from repro.workloads.base import OpMix, WorkloadConfig
 
 EXPERIMENT = "E14"
 
@@ -120,21 +121,24 @@ def _run_one(params: Params, sites_n: int, policy: str,
         shards=params.shards, shard_workers=1,
         partitioner="hash", replicas=params.replicas))
     items = [f"flight{index}" for index in range(params.items)]
-    for item in items:
-        system.add_item(item, CounterDomain(), total=params.stock)
 
     workload = WorkloadConfig(
         arrival_rate=rate, duration=params.duration,
         zipf_skew=params.zipf_skew, work=params.work,
         mix=OpMix(reserve=0.7, cancel=0.3))
-    source = AirlineWorkload(items, workload)
     collector = Collector()
     frontend = ServingFrontend(system, ServingConfig(
         router=router, max_inflight=params.max_inflight,
         max_depth=params.max_depth if admit else None,
         board_period=params.board_period), collector)
-    driver = WorkloadDriver(system.sim, frontend, sites, source,
-                            workload, collector)
+    # App-level traffic: the reservation façade submits *via* the
+    # front-end, so routed/queued/shed requests are real app calls.
+    reservations = ReservationSystem(system, via=frontend)
+    for item in items:
+        reservations.add_flight(item, params.stock)
+    source = AirlineAppTraffic(reservations, items, workload)
+    driver = AppWorkloadDriver(system.sim, sites, source, workload,
+                               collector)
     frontend.start()
     driver.install_open_loop()
     system.sim.run_until(params.duration)

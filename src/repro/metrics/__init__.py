@@ -3,12 +3,18 @@
 from repro.metrics.collector import Collector, CollectorInconsistency
 from repro.metrics.stats import Summary, percentile, percentile_sorted, summarize
 from repro.metrics.tables import Table
-from repro.metrics.windows import ServeSample, WindowStat, window_stats
+from repro.metrics.windows import (
+    ServeSample,
+    StreamingWindowStats,
+    WindowStat,
+    window_stats,
+)
 
 __all__ = [
     "Collector",
     "CollectorInconsistency",
     "ServeSample",
+    "StreamingWindowStats",
     "Summary",
     "Table",
     "WindowStat",

@@ -58,6 +58,72 @@ class WindowStat:
         return self.aborted / decided if decided else 0.0
 
 
+class StreamingWindowStats:
+    """Incremental twin of :func:`window_stats` for streamed samples.
+
+    Retaining every :class:`ServeSample` is fine at harness scales and
+    hopeless at 10^5-10^6 sites. Point the serving front-end's
+    ``on_sample``/``on_overload`` sinks here (with ``retain_samples``
+    off) and each sample is folded into its arrival window as two
+    floats and three counters, then dropped — samples outside
+    [start, end) cost nothing at all. ``stats()`` returns exactly what
+    ``window_stats`` returns over the same stream (the equivalence is
+    a regression test).
+    """
+
+    def __init__(self, start: float, end: float, width: float) -> None:
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        self.start = start
+        self.end = end
+        self.width = width
+        count = max(1, int((end - start) / width + 0.5))
+        self._latencies: list[list[float]] = [[] for _ in range(count)]
+        self._waits: list[list[float]] = [[] for _ in range(count)]
+        self._committed = [0] * count
+        self._aborted = [0] * count
+        self._sheds = [0] * count
+
+    def _index(self, at: float) -> int | None:
+        if not self.start <= at < self.end:
+            return None
+        count = len(self._committed)
+        return min(count - 1, int((at - self.start) / self.width))
+
+    def add(self, sample: ServeSample) -> None:
+        slot = self._index(sample.arrived_at)
+        if slot is None:
+            return
+        self._latencies[slot].append(sample.latency)
+        self._waits[slot].append(sample.queue_wait)
+        if sample.committed:
+            self._committed[slot] += 1
+        else:
+            self._aborted[slot] += 1
+
+    def add_shed(self, at: float) -> None:
+        slot = self._index(at)
+        if slot is not None:
+            self._sheds[slot] += 1
+
+    def stats(self) -> list[WindowStat]:
+        out = []
+        for slot, latencies in enumerate(self._latencies):
+            ordered = sorted(latencies)
+            waits = self._waits[slot]
+            decided = self._committed[slot] + self._aborted[slot]
+            out.append(WindowStat(
+                start=self.start + slot * self.width,
+                offered=decided + self._sheds[slot],
+                shed=self._sheds[slot],
+                committed=self._committed[slot],
+                aborted=self._aborted[slot],
+                p50=percentile_sorted(ordered, 50),
+                p99=percentile_sorted(ordered, 99),
+                mean_wait=sum(waits) / len(waits) if waits else 0.0))
+        return out
+
+
 def window_stats(samples: list[ServeSample], shed_times: list[float],
                  start: float, end: float, width: float) -> list[WindowStat]:
     """Bucket samples by *arrival* time into fixed windows.

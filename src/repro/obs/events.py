@@ -354,6 +354,41 @@ class ServeShed(TraceEvent):
     depth: int = 0
 
 
+# -- bounded-staleness read views (docs/READS.md) ----------------------------
+
+@dataclass(frozen=True)
+class ReadViewServe(TraceEvent):
+    """A cached view entry satisfied a reader's staleness bound."""
+
+    kind: ClassVar[str] = "read.view-serve"
+    site: str = ""
+    txn: str = ""
+    item: str = ""
+    staleness: float = 0.0
+    bound: float | None = None
+
+
+@dataclass(frozen=True)
+class ReadViewMiss(TraceEvent):
+    """The cache could not certify the bound; the reader escalates."""
+
+    kind: ClassVar[str] = "read.view-miss"
+    site: str = ""
+    txn: str = ""
+    item: str = ""
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ReadViewRefresh(TraceEvent):
+    """One write-behind refresh round published at a global barrier."""
+
+    kind: ClassVar[str] = "read.refresh"
+    publishers: int = 0
+    items: int = 0
+    sends: int = 0
+
+
 # -- kernel ------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -376,6 +411,7 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         NetSend, NetDropPartition, NetDropLoss, NetDeliver, NetBundle,
         SiteCrash, SiteRecover, LogForce,
         ServeEnqueue, ServeDequeue, ServeShed,
+        ReadViewServe, ReadViewMiss, ReadViewRefresh,
         KernelStep,
     )
 }

@@ -14,6 +14,7 @@ from repro.serving.router import (
     LeastQueueRouter,
     LocalityRouter,
     RandomRouter,
+    ViewAwareRouter,
     make_router,
 )
 
@@ -28,5 +29,6 @@ __all__ = [
     "ServingConfig",
     "ServingFrontend",
     "SiteQueue",
+    "ViewAwareRouter",
     "make_router",
 ]

@@ -51,6 +51,12 @@ class ServingConfig:
     #: Seed for the EWMA service-time estimate before completions.
     service_estimate: float = 1.0
     ewma_alpha: float = 0.2
+    #: Keep every ServeSample/Overload in ``frontend.samples`` /
+    #: ``frontend.overloads`` (the harness-scale default). Turn off for
+    #: 10^5-10^6-site runs and consume the ``on_sample``/``on_overload``
+    #: sinks instead (e.g. metrics.windows.StreamingWindowStats) — the
+    #: decision stream then costs O(1) memory per request.
+    retain_samples: bool = True
 
     def __post_init__(self) -> None:
         if self.router not in ROUTERS:
@@ -87,13 +93,24 @@ class ServingFrontend:
         self.queues = {site: SiteQueue(self, site)
                        for site in system.sites}
         self.board = DepthBoard(self.queues)
-        self.router = make_router(self.config.router, self.sim,
-                                  list(system.sites), self.board,
-                                  system.directory)
+        self.router = make_router(
+            self.config.router, self.sim, list(system.sites),
+            self.board, system.directory,
+            # Live lookup, not a frozen set: sites may join later and
+            # a crashed site's wiped cache still serves after refill.
+            view_capable=lambda name: (
+                name in system.sites
+                and system.sites[name].views is not None))
         #: Every shed, in decision order (typed Overload results).
+        #: Empty when ``retain_samples`` is off — use the sinks.
         self.overloads: list[Overload] = []
-        #: Enqueue->decision life of every decided request.
+        #: Enqueue->decision life of every decided request. Empty when
+        #: ``retain_samples`` is off — use the sinks.
         self.samples: list[ServeSample] = []
+        #: Streaming consumers, called per decision/shed before (and
+        #: regardless of) retention. Set before traffic starts.
+        self.on_sample: Callable[[ServeSample], None] | None = None
+        self.on_overload: Callable[[Overload], None] | None = None
         self.dispatched = 0
         self._running = False
 
@@ -153,7 +170,10 @@ class ServingFrontend:
     # -- queue callbacks -----------------------------------------------------
 
     def record_shed(self, overload: Overload, origin: str) -> None:
-        self.overloads.append(overload)
+        if self.on_overload is not None:
+            self.on_overload(overload)
+        if self.config.retain_samples:
+            self.overloads.append(overload)
         self.collector.on_shed(at=overload.at)
         self.sim.metrics.counter("serve.shed", site=overload.site,
                                  reason=overload.reason).inc()
@@ -164,7 +184,10 @@ class ServingFrontend:
                                depth=overload.depth))
 
     def record_sample(self, sample: ServeSample) -> None:
-        self.samples.append(sample)
+        if self.on_sample is not None:
+            self.on_sample(sample)
+        if self.config.retain_samples:
+            self.samples.append(sample)
 
     def note_dispatch(self) -> None:
         self.dispatched += 1

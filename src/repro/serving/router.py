@@ -16,14 +16,21 @@ Three policies:
   fragments, so the transaction usually commits locally instead of
   paying redistribution round trips — the paper's local-commit sweet
   spot turned into a routing policy.
+* **view-aware** — locality routing that knows about the Π(b) view
+  tier (docs/READS.md): a request made *entirely* of bounded-staleness
+  view reads stays at its origin whenever the origin holds a view
+  cache, because any view-capable site can certify the read from its
+  cache in O(1) — forwarding it to a fragment owner buys nothing and
+  pays a hop. Everything else (writes, full reads, mixed specs)
+  routes exactly like **locality**.
 """
 
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
-from repro.core.transactions import TransactionSpec
+from repro.core.transactions import ReadViewOp, TransactionSpec
 from repro.sim.kernel import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -129,15 +136,43 @@ class LocalityRouter:
         return self.board.least_loaded(owners, prefer=origin)
 
 
-ROUTERS = ("random", "least-queue", "locality")
+class ViewAwareRouter:
+    """Locality routing with an O(1) fast path for pure view reads."""
+
+    name = "view-aware"
+
+    def __init__(self, board: DepthBoard, directory: "Directory",
+                 view_capable: Callable[[str], bool]) -> None:
+        self.board = board
+        self.directory = directory
+        self.view_capable = view_capable
+        self._fallback = LocalityRouter(board, directory)
+        #: Pure view reads kept at a view-capable origin.
+        self.kept_local = 0
+
+    def route(self, origin: str, spec: TransactionSpec) -> str:
+        pure_view = spec.ops and all(isinstance(op, ReadViewOp)
+                                     for op in spec.ops)
+        if pure_view and self.view_capable(origin):
+            self.kept_local += 1
+            return origin
+        return self._fallback.route(origin, spec)
+
+
+ROUTERS = ("random", "least-queue", "locality", "view-aware")
 
 
 def make_router(name: str, sim: Simulator, sites: list[str],
-                board: DepthBoard, directory: "Directory") -> Router:
+                board: DepthBoard, directory: "Directory",
+                view_capable: "Callable[[str], bool] | None" = None
+                ) -> Router:
     if name == "random":
         return RandomRouter(sim, sites)
     if name == "least-queue":
         return LeastQueueRouter(board)
     if name == "locality":
         return LocalityRouter(board, directory)
+    if name == "view-aware":
+        return ViewAwareRouter(board, directory,
+                               view_capable or (lambda _site: False))
     raise ValueError(f"unknown router {name!r}; choose from {ROUTERS}")

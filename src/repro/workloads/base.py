@@ -30,16 +30,22 @@ class SubmitTarget(Protocol):
 
 @dataclass(frozen=True)
 class OpMix:
-    """Relative weights of the four operation families."""
+    """Relative weights of the operation families."""
 
     reserve: float = 0.6   # decrement
     cancel: float = 0.2    # increment
     transfer: float = 0.0  # move between items
     read: float = 0.0      # full read
+    #: Bounded-staleness view read (docs/READS.md). Appended with
+    #: weight 0 so every pre-existing mix draws the exact same
+    #: sequence: a zero-weight tail entry can never be chosen and
+    #: does not shift which index any existing draw selects.
+    read_view: float = 0.0
 
     def normalized(self) -> list[tuple[str, float]]:
         pairs = [("reserve", self.reserve), ("cancel", self.cancel),
-                 ("transfer", self.transfer), ("read", self.read)]
+                 ("transfer", self.transfer), ("read", self.read),
+                 ("read_view", self.read_view)]
         total = sum(weight for _name, weight in pairs)
         if total <= 0:
             raise ValueError("op mix has no positive weights")

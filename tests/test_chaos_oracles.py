@@ -40,7 +40,7 @@ class TestHealthyRuns:
 
     def test_default_oracle_names(self):
         assert [oracle.name for oracle in default_oracles()] == \
-            ["auditor", "serial", "progress"]
+            ["auditor", "serial", "progress", "view"]
 
     def test_local_reads_are_not_held_to_the_full_band(self):
         # The chaos workload submits ReadLocalOp transactions whose

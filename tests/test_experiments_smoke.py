@@ -21,7 +21,7 @@ def test_quick_preset_produces_table(experiment_id):
 
 
 def test_registry_is_complete():
-    assert experiments.all_ids() == [f"E{n}" for n in range(1, 16)]
+    assert experiments.all_ids() == [f"E{n}" for n in range(1, 17)]
 
 
 def test_unknown_experiment_rejected():

@@ -1,0 +1,336 @@
+"""Unit coverage for the bounded-staleness read tier (docs/READS.md):
+the view store's conservation totals, the per-site cache's admission
+rules, the certificate-first O(1) commit path, the view-aware router,
+the app façades' estimate calls through the serving front-end, and the
+streaming window aggregator the 10^5-site runs rely on.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.airline import ReservationSystem
+from repro.apps.bank import Bank
+from repro.apps.inventory import InventoryControl
+from repro.core.domain import CounterDomain
+from repro.core.system import DvPSystem, SystemConfig
+from repro.core.transactions import (
+    DecrementOp,
+    IncrementOp,
+    ReadViewOp,
+    TransactionSpec,
+)
+from repro.metrics.windows import (
+    ServeSample,
+    StreamingWindowStats,
+    window_stats,
+)
+from repro.net.link import LinkConfig
+from repro.reads import ViewConfig, ViewEntry
+from repro.serving import ServingConfig, ServingFrontend
+from repro.serving.router import DepthBoard, ViewAwareRouter, make_router
+
+
+def build(views=ViewConfig(refresh_period=2.0), sites=("A", "B", "C"),
+          total=90, **config_kwargs):
+    config_kwargs.setdefault("txn_timeout", 10.0)
+    config_kwargs.setdefault("link", LinkConfig(base_delay=1.0))
+    system = DvPSystem(SystemConfig(sites=list(sites), seed=2,
+                                    views=views, **config_kwargs))
+    system.add_item("x", CounterDomain(), total=total)
+    return system
+
+
+def warm(system, until=6.0):
+    """Run past one refresh round + delivery so every cache is hot."""
+    system.run_until(until)
+
+
+def run_one(system, site, spec):
+    results = []
+    system.submit(site, spec, results.append)
+    system.run_for(system.config.txn_timeout + 200.0)
+    assert results, "transaction never decided"
+    return results[0]
+
+
+class TestViewStoreTotals:
+    def test_totals_track_the_logical_value(self):
+        """Σ fragments + Σ live Vm, folded incrementally, equals the
+        brute-force fragment sum at quiescence — after commits have
+        moved value around."""
+        system = build()
+        run_one(system, "A", TransactionSpec(ops=(DecrementOp("x", 50),)))
+        run_one(system, "B", TransactionSpec(ops=(IncrementOp("x", 7),)))
+        assert system.views.store.total("x") == \
+            sum(system.fragment_values("x").values()) == 47
+
+    def test_views_off_means_no_service(self):
+        system = build(views=None)
+        assert system.views is None
+        assert all(site.views is None for site in system.sites.values())
+
+
+class TestCacheAdmission:
+    def _cache(self, system):
+        warm(system)
+        return system.sites["A"].views
+
+    def test_cold_cache_misses(self):
+        system = build()
+        cache = system.sites["A"].views  # before any refresh round
+        assert cache.serve("x", bound=100.0) is None
+
+    def test_warm_cache_serves_with_certificate(self):
+        system = build()
+        cache = self._cache(system)
+        cert = cache.serve("x", bound=100.0)
+        assert cert is not None
+        assert cert.value == 90
+        assert 0 <= cert.staleness <= 100.0
+        assert cert.bound == 100.0
+
+    def test_bound_tighter_than_staleness_misses(self):
+        system = build()
+        cache = self._cache(system)
+        entry = cache.entries["x"]
+        cache.entries["x"] = ViewEntry(item="x", value=entry.value,
+                                       as_of=system.sim.now - 3.0,
+                                       epoch=entry.epoch)
+        assert cache.serve("x", bound=1.0) is None
+        # A bound miss is the reader's problem, not the entry's: a
+        # looser bound must still be servable from the same entry.
+        assert "x" in cache.entries
+        cert = cache.serve("x", bound=3.5)
+        assert cert is not None
+        assert cert.staleness == 3.0
+
+    def test_ttl_expiry_evicts(self):
+        system = build()       # resolved_ttl = 2 * refresh = 4
+        cache = self._cache(system)
+        system.views.stop()    # no more refreshes
+        system.run_until(system.sim.now + 50.0)
+        assert cache.serve("x", bound=None) is None
+        assert "x" not in cache.entries
+
+    def test_stale_epoch_evicts(self):
+        system = build()
+        cache = self._cache(system)
+        entry = cache.entries["x"]
+        cache.entries["x"] = ViewEntry(item="x", value=entry.value,
+                                       as_of=entry.as_of,
+                                       epoch=entry.epoch - 1)
+        assert cache.serve("x", bound=None) is None
+        assert "x" not in cache.entries
+
+    def test_store_keeps_the_freshest_entry(self):
+        system = build()
+        cache = self._cache(system)
+        newest = cache.entries["x"]
+        older = ViewEntry(item="x", value=0, as_of=newest.as_of - 1.0,
+                          epoch=newest.epoch)
+        cache.store(older)
+        assert cache.entries["x"] is newest
+
+
+class TestCertificateFastPath:
+    def test_served_read_is_message_free(self):
+        system = build()
+        warm(system)
+        result = run_one(system, "A", TransactionSpec(
+            ops=(ReadViewOp("x", bound=100.0),)))
+        assert result.committed
+        assert result.requests_sent == 0
+        assert result.view_fallbacks == ()
+        assert result.view_reads["x"].value == 90
+        assert result.read_values["x"] == 90
+
+    def test_served_read_ignores_a_frozen_fragment(self):
+        """The poisoning regression: a concurrent fan-out read's
+        freeze holds the local fragment lock, but a certificate-served
+        read never touches the fragment — it must commit anyway."""
+        system = build()
+        warm(system)
+        site = system.sites["A"]
+        assert site.locks.try_acquire_all("rds:freeze", {"x"})
+        result = run_one(system, "A", TransactionSpec(
+            ops=(ReadViewOp("x", bound=100.0),)))
+        assert result.committed
+        assert result.requests_sent == 0
+        # And the fast path left the foreign lock alone.
+        assert site.locks.holder("x") == "rds:freeze"
+
+    def test_miss_falls_back_to_fanout_and_fills_through(self):
+        system = build()
+        warm(system)
+        cache = system.sites["A"].views
+        cache.clear()
+        result = run_one(system, "A", TransactionSpec(
+            ops=(ReadViewOp("x", bound=100.0),)))
+        assert result.committed
+        assert result.view_fallbacks == ("x",)
+        assert result.requests_sent > 0
+        assert result.read_values["x"] == 90
+        # Read-through repair: the fallback warmed the cache again.
+        assert "x" in cache.entries
+
+    def test_views_disabled_escalates_to_fanout(self):
+        system = build(views=None)
+        result = run_one(system, "A", TransactionSpec(
+            ops=(ReadViewOp("x", bound=100.0),)))
+        assert result.committed
+        assert result.view_fallbacks == ("x",)
+        assert result.read_values["x"] == 90
+
+    def test_mixed_spec_takes_the_classic_path(self):
+        """A view read riding with a write still locks and commits
+        through the ordinary protocol — certificates included."""
+        system = build()
+        system.add_item("y", CounterDomain(), total=9)
+        warm(system)
+        result = run_one(system, "A", TransactionSpec(
+            ops=(ReadViewOp("x", bound=100.0), DecrementOp("y", 1))))
+        assert result.committed
+        assert result.view_reads["x"].value == 90
+        assert sum(system.fragment_values("y").values()) == 8
+
+
+class TestViewAwareRouter:
+    def _router(self, system, capable=lambda site: True):
+        board = DepthBoard({})
+        return make_router("view-aware", system.sim,
+                           list(system.sites), board,
+                           directory=system.directory,
+                           view_capable=capable)
+
+    def test_pure_view_spec_stays_at_origin(self):
+        system = build()
+        router = self._router(system)
+        spec = TransactionSpec(ops=(ReadViewOp("x", bound=5.0),))
+        assert router.route("B", spec) == "B"
+        assert router.kept_local == 1
+
+    def test_incapable_origin_falls_back_to_locality(self):
+        system = build()
+        router = self._router(system, capable=lambda site: False)
+        spec = TransactionSpec(ops=(ReadViewOp("x", bound=5.0),))
+        target = router.route("B", spec)
+        assert target in system.sites
+        assert router.kept_local == 0
+
+    def test_mixed_spec_falls_back_to_locality(self):
+        system = build()
+        router = self._router(system)
+        spec = TransactionSpec(ops=(ReadViewOp("x", bound=5.0),
+                                    DecrementOp("y", 1)))
+        router.route("B", spec)
+        assert router.kept_local == 0
+
+    def test_registered_name(self):
+        assert ViewAwareRouter.name == "view-aware"
+
+
+class TestFacadeEstimates:
+    def _frontend(self, system):
+        return ServingFrontend(system, ServingConfig(router="view-aware"))
+
+    def test_bank_estimate_via_frontend(self):
+        system = DvPSystem(SystemConfig(
+            sites=["A", "B"], seed=3, txn_timeout=10.0,
+            link=LinkConfig(base_delay=1.0),
+            views=ViewConfig(refresh_period=2.0)))
+        frontend = self._frontend(system)
+        bank = Bank(system, via=frontend)
+        bank.open_account("acct", {"A": 60, "B": 40})
+        frontend.start()
+        warm(system)
+        results = []
+        bank.estimate_balance("B", "acct", bound=50.0,
+                              on_done=results.append)
+        system.run_for(30.0)
+        assert results and results[0].committed
+        assert results[0].read_values["acct"] == 100
+        assert results[0].view_reads["acct"].staleness <= 50.0
+
+    def test_airline_and_inventory_estimates(self):
+        system = DvPSystem(SystemConfig(
+            sites=["A", "B"], seed=3, txn_timeout=10.0,
+            link=LinkConfig(base_delay=1.0),
+            views=ViewConfig(refresh_period=2.0)))
+        frontend = self._frontend(system)
+        airline = ReservationSystem(system, via=frontend)
+        airline.add_flight("fl1", 50)
+        inventory = InventoryControl(system, via=frontend)
+        inventory.add_sku("sku1", 12, stocking={"A": 5, "B": 7})
+        frontend.start()
+        warm(system)
+        seats, stock = [], []
+        airline.seats_estimate("A", "fl1", bound=50.0,
+                               on_done=seats.append)
+        inventory.stock_estimate("B", "sku1", bound=50.0,
+                                 on_done=stock.append)
+        system.run_for(30.0)
+        assert seats and seats[0].committed
+        assert seats[0].read_values["fl1"] == 50
+        assert stock and stock[0].committed
+        assert stock[0].read_values["sku1"] == 12
+
+
+class TestStreamingWindows:
+    def _samples(self, count=400, seed=5):
+        rng = random.Random(seed)
+        samples, sheds = [], []
+        for index in range(count):
+            arrived = rng.uniform(0.0, 120.0)  # some past the end
+            dispatched = arrived + rng.uniform(0.0, 3.0)
+            finished = dispatched + rng.uniform(0.0, 8.0)
+            samples.append(ServeSample(
+                site=f"S{index % 4}", arrived_at=arrived,
+                dispatched_at=dispatched, finished_at=finished,
+                committed=rng.random() < 0.8))
+            if rng.random() < 0.2:
+                sheds.append(rng.uniform(0.0, 120.0))
+        return samples, sheds
+
+    def test_equivalent_to_window_stats(self):
+        samples, sheds = self._samples()
+        start, end, width = 0.0, 100.0, 10.0
+        streaming = StreamingWindowStats(start, end, width)
+        for sample in samples:
+            streaming.add(sample)
+        for at in sheds:
+            streaming.add_shed(at)
+        assert streaming.stats() == window_stats(samples, sheds,
+                                                 start, end, width)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingWindowStats(0.0, 10.0, 0.0)
+
+    def test_frontend_sinks_replace_retention(self):
+        """retain_samples=False: the lists stay empty, the sinks see
+        every decision, and the aggregate matches a retained twin."""
+        def serve(retain, sink=None):
+            system = DvPSystem(SystemConfig(
+                sites=["A", "B"], seed=4, txn_timeout=10.0,
+                link=LinkConfig(base_delay=1.0)))
+            system.add_item("x", CounterDomain(), total=100)
+            frontend = ServingFrontend(system, ServingConfig(
+                router="random", retain_samples=retain))
+            if sink is not None:
+                frontend.on_sample = sink
+            frontend.start()
+            for at in range(1, 11):
+                system.sim.at(float(at), lambda s=system, f=frontend:
+                              f.submit("A", TransactionSpec(
+                                  ops=(DecrementOp("x", 1),))))
+            system.run_until(60.0)
+            return frontend
+
+        retained = serve(retain=True)
+        streamed: list[ServeSample] = []
+        frontend = serve(retain=False, sink=streamed.append)
+        assert frontend.samples == []
+        assert len(streamed) == len(retained.samples) == 10
+        assert sorted(s.latency for s in streamed) == \
+            sorted(s.latency for s in retained.samples)
